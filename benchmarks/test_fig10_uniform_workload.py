@@ -1,0 +1,8 @@
+"""Figure 10: the uniform (non-clustered) workload — QUASII vs R-Tree vs
+Scan convergence over the first stretch and the last stretch, cumulative
+time including Grid, and the fraction of tail queries that ran on a fully
+refined structure."""
+
+
+def test_fig10_uniform_workload(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig10", smoke_scale)

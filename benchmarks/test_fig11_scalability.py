@@ -1,0 +1,8 @@
+"""Figure 11: scalability — QUASII vs R-Tree cumulative time at two
+dataset sizes, with the R-Tree cost split into Building and Querying and
+the count of queries QUASII completes before the R-Tree finishes
+building."""
+
+
+def test_fig11_scalability(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig11", smoke_scale)

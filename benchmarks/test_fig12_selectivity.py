@@ -1,0 +1,7 @@
+"""Figure 12: impact of query selectivity (0.001% / 1% / 10% of the
+universe volume) on the QUASII-to-R-Tree cumulative time ratio — larger
+queries reorganize more data per query, narrowing QUASII's advantage."""
+
+
+def test_fig12_selectivity(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig12", smoke_scale)

@@ -1,0 +1,15 @@
+"""Figure 6: the costs of space-oriented partitioning.
+
+6a — object-assignment penalty: R-Tree vs GridQueryExt vs GridReplication
+on clustered queries over the skewed dataset.
+6b — grid configuration sensitivity: the best partitions-per-dimension
+depends on the data distribution, and off-configurations hurt.
+"""
+
+
+def test_fig6a_data_assignment(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig6a", smoke_scale)
+
+
+def test_fig6b_grid_configuration(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig6b", smoke_scale)

@@ -1,0 +1,7 @@
+"""Figure 7: per-query convergence of each incremental index toward its
+static counterpart (SFCracker→SFC, Mosaic→Grid, QUASII→R-Tree), with Scan
+as the flat reference, on the clustered neuroscience-like workload."""
+
+
+def test_fig7_convergence(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig7", smoke_scale)

@@ -1,0 +1,8 @@
+"""Figure 8: cumulative execution time (static build included) for the
+three index categories, plus machine-independent work counters and the
+break-even points the paper reports (SFCracker ~23, Mosaic ~100, QUASII
+never)."""
+
+
+def test_fig8_cumulative_time(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig8", smoke_scale)

@@ -1,0 +1,15 @@
+"""Figure 9: head-to-head comparison of the incremental approaches.
+
+9a — per-query convergence of QUASII vs Mosaic vs SFCracker (R-Tree and
+Scan as references) and the first-query (data-to-insight) cost ordering.
+9b — cumulative time vs the cheapest static index (Grid) with break-even
+points.
+"""
+
+
+def test_fig9a_comparative_convergence(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig9a", smoke_scale)
+
+
+def test_fig9b_comparative_cumulative(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "fig9b", smoke_scale)

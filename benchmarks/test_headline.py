@@ -1,0 +1,7 @@
+"""The paper's headline claims (data-to-insight reduction, cumulative
+ratios, converged parity, comparative speedups) recomputed end-to-end from
+the clustered and uniform runs."""
+
+
+def test_headline_numbers(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "headline", smoke_scale)

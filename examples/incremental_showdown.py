@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""All three incremental strategies, head to head (paper Sections 3 & 6.4).
+
+The paper motivates QUASII by showing that the two obvious ways to build an
+incremental spatial index both disappoint:
+
+* SFCracker — map objects to a space-filling curve and crack the 1-d code
+  array.  The first query pays for transforming *all* data, and every query
+  cracks once per decomposed curve interval.
+* Mosaic — incrementally deepen an octree one level per query.  Frequently
+  queried data is re-partitioned over and over on its way down.
+* QUASII — crack the multidimensional data directly, one dimension per
+  level, only inside query bounds.
+
+This example prints the per-query work counters that make the difference
+visible regardless of machine: rows physically moved and objects tested.
+
+Run:  python examples/incremental_showdown.py
+"""
+
+from __future__ import annotations
+
+from repro import QuasiiIndex, clustered_workload, make_neuro_like
+from repro.baselines import MosaicIndex, SFCrackerIndex
+from repro.bench import run_workload
+
+
+def main() -> None:
+    dataset = make_neuro_like(200_000, seed=3)
+    queries = clustered_workload(
+        dataset.universe, n_clusters=2, queries_per_cluster=50,
+        volume_fraction=1e-4, seed=5,
+    )
+
+    indexes = [
+        QuasiiIndex(dataset.store.copy()),
+        MosaicIndex(dataset.store.copy(), dataset.universe),
+        SFCrackerIndex(dataset.store.copy(), dataset.universe),
+    ]
+    runs = {idx.name: run_workload(idx, queries) for idx in indexes}
+
+    print(f"{'index':10s} {'q1 rows moved':>14s} {'total rows moved':>17s} "
+          f"{'objects tested':>15s} {'q1 (ms)':>9s} {'tail avg (ms)':>14s}")
+    for name, run in runs.items():
+        print(
+            f"{name:10s} {run.timings[0].rows_reorganized:14,d} "
+            f"{sum(t.rows_reorganized for t in run.timings):17,d} "
+            f"{run.total_objects_tested():15,d} "
+            f"{run.timings[0].seconds * 1e3:9.1f} "
+            f"{run.tail_mean_seconds(20) * 1e3:14.2f}"
+        )
+
+    q = runs["QUASII"]
+    m = runs["Mosaic"]
+    s = runs["SFCracker"]
+    print("\nwhat the paper predicts, and what we measured:")
+    print(
+        f"* first-query (data-to-insight) time: QUASII "
+        f"{q.timings[0].seconds * 1e3:.1f} ms < Mosaic "
+        f"{m.timings[0].seconds * 1e3:.1f} ms < SFCracker "
+        f"{s.timings[0].seconds * 1e3:.1f} ms — QUASII's x-pass examines one "
+        f"coordinate, Mosaic reassigns every object on all coordinates, "
+        f"SFCracker transforms the whole dataset to Z-codes"
+    )
+    print(
+        f"* SFCracker's first query also moves by far the most rows "
+        f"({s.timings[0].rows_reorganized:,} vs QUASII "
+        f"{q.timings[0].rows_reorganized:,}) — it cracks once per curve "
+        f"interval: {s.timings[0].cracks} cracks in that single query"
+    )
+    print(
+        f"* converged per-query time: QUASII "
+        f"{q.tail_mean_seconds(20) * 1e3:.2f} ms beats Mosaic "
+        f"{m.tail_mean_seconds(20) * 1e3:.2f} ms and SFCracker "
+        f"{s.tail_mean_seconds(20) * 1e3:.2f} ms — data-oriented slices "
+        f"avoid query extension and dimensionality loss"
+    )
+
+
+if __name__ == "__main__":
+    main()

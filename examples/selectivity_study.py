@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""When does incremental indexing pay off? A selectivity study (Figure 12).
+
+Sweeps query selectivity (window volume as a fraction of the universe) and
+reports, for each: QUASII's cumulative cost relative to build-then-query
+with the R-Tree, in both wall-clock and the machine-independent work model
+(rows touched).  Large windows reorganize a lot of data per query, so
+QUASII's advantage narrows exactly as the paper describes.
+
+Run:  python examples/selectivity_study.py [n_objects] [n_queries]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import QuasiiIndex, make_uniform, uniform_workload
+from repro.baselines import RTreeIndex
+from repro.bench import run_workload
+from repro.bench.metrics import work_ratio
+
+
+def main() -> None:
+    n_objects = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    n_queries = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+    dataset = make_uniform(n_objects, seed=9)
+    print(f"{n_objects:,} objects, {n_queries} uniform queries per selectivity\n")
+
+    print(f"{'selectivity':>12s} {'R-Tree total (s)':>17s} {'QUASII total (s)':>17s} "
+          f"{'time ratio':>11s} {'work ratio':>11s}")
+    for fraction in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1):
+        queries = uniform_workload(dataset.universe, n_queries, fraction, seed=13)
+        rtree = RTreeIndex(dataset.store.copy())
+        quasii = QuasiiIndex(dataset.store.copy())
+        rt = run_workload(rtree, queries)
+        qz = run_workload(quasii, queries)
+        print(
+            f"{fraction * 100:11g}% {rt.total_seconds():17.3f} "
+            f"{qz.total_seconds():17.3f} "
+            f"{qz.total_seconds() / rt.total_seconds():11.2f} "
+            f"{work_ratio(qz, rt):11.2f}"
+        )
+
+    print(
+        "\npaper shape: the ratio rises with selectivity — at 10% windows "
+        "every query touches (and reorganizes) a tenth of the dataset, so "
+        "the incremental strategy's edge over a one-shot build shrinks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""QUASII reproduction: query-aware spatial incremental indexing.
+
+A from-scratch Python implementation of *QUASII: QUery-Aware Spatial
+Incremental Index* (Pavlovic, Sidlauskas, Heinis, Ailamaki — EDBT 2018),
+together with every baseline its evaluation compares against: full scan,
+STR-bulk-loaded R-Tree, uniform grid (replication and query-extension
+variants), static Z-order SFC index, SFCracker, and Mosaic.
+
+Quick start::
+
+    from repro import QuasiiIndex, make_uniform, uniform_workload
+
+    dataset = make_uniform(100_000, seed=42)
+    index = QuasiiIndex(dataset.store)
+    for query in uniform_workload(dataset.universe, 100, seed=42):
+        ids = index.query(query)   # the index refines itself as you query
+"""
+
+from repro.baselines import (
+    MosaicIndex,
+    RTreeIndex,
+    SFCIndex,
+    SFCrackerIndex,
+    ScanIndex,
+    UniformGridIndex,
+)
+from repro.core import PAPER_TAU, QuasiiConfig, QuasiiIndex
+from repro.datasets import (
+    BoxStore,
+    Dataset,
+    load_dataset,
+    make_gaussian_mixture,
+    make_neuro_like,
+    make_points,
+    make_uniform,
+    save_dataset,
+)
+from repro.extensions import k_nearest
+from repro.geometry import Box
+from repro.index import IndexStats, SpatialIndex
+from repro.queries import (
+    RangeQuery,
+    clustered_workload,
+    selectivity_sweep,
+    uniform_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_TAU",
+    "Box",
+    "BoxStore",
+    "Dataset",
+    "IndexStats",
+    "MosaicIndex",
+    "QuasiiConfig",
+    "QuasiiIndex",
+    "RTreeIndex",
+    "RangeQuery",
+    "SFCIndex",
+    "SFCrackerIndex",
+    "ScanIndex",
+    "SpatialIndex",
+    "UniformGridIndex",
+    "__version__",
+    "clustered_workload",
+    "k_nearest",
+    "load_dataset",
+    "make_gaussian_mixture",
+    "make_neuro_like",
+    "make_points",
+    "make_uniform",
+    "save_dataset",
+    "selectivity_sweep",
+    "uniform_workload",
+]

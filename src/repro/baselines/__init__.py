@@ -1,0 +1,24 @@
+"""Every baseline the paper evaluates against QUASII.
+
+Static: :class:`ScanIndex`, :class:`RTreeIndex` (STR / Guttman),
+:class:`UniformGridIndex` (replication / query extension),
+:class:`SFCIndex` (sorted Z-order).
+
+Incremental: :class:`SFCrackerIndex` (Z-order cracking, Section 3.1) and
+:class:`MosaicIndex` (incremental Octree, Section 3.2).
+"""
+
+from repro.baselines.grid import UniformGridIndex
+from repro.baselines.mosaic import MosaicIndex
+from repro.baselines.rtree import RTreeIndex
+from repro.baselines.scan import ScanIndex
+from repro.baselines.sfc import SFCIndex, SFCrackerIndex
+
+__all__ = [
+    "MosaicIndex",
+    "RTreeIndex",
+    "SFCIndex",
+    "SFCrackerIndex",
+    "ScanIndex",
+    "UniformGridIndex",
+]

@@ -1,0 +1,5 @@
+"""Uniform grid baseline (replication and query-extension assignment)."""
+
+from repro.baselines.grid.uniform_grid import ASSIGNMENTS, UniformGridIndex
+
+__all__ = ["ASSIGNMENTS", "UniformGridIndex"]

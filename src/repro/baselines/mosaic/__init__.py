@@ -1,0 +1,5 @@
+"""Mosaic: incremental Octree baseline adapted from Space Odyssey."""
+
+from repro.baselines.mosaic.mosaic import MosaicIndex
+
+__all__ = ["MosaicIndex"]

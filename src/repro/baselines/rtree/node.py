@@ -1,0 +1,91 @@
+"""R-Tree node representation.
+
+Nodes are plain Python objects; what makes queries fast is that every
+internal node caches its children's MBRs as two stacked ``(k, d)`` matrices
+so a visit prunes all ``k`` subtrees with one vectorized intersection test,
+and every leaf stores its member *rows* as one int64 vector so the final
+object test is a single store gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RTreeNode:
+    """One R-Tree node (internal or leaf).
+
+    Attributes
+    ----------
+    lo, hi:
+        This node's MBR corners, length-``d`` float64 vectors.
+    children:
+        Sub-nodes (internal nodes only).
+    child_lo, child_hi:
+        Stacked children MBRs, rebuilt whenever ``children`` changes.
+    rows:
+        Store row indices (leaf nodes only).
+    """
+
+    __slots__ = ("lo", "hi", "children", "child_lo", "child_hi", "rows")
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        children: list[RTreeNode] | None = None,
+        rows: np.ndarray | None = None,
+    ) -> None:
+        if (children is None) == (rows is None):
+            raise ValueError("a node is either internal (children) or leaf (rows)")
+        self.lo = lo
+        self.hi = hi
+        self.children = children
+        self.rows = rows
+        self.child_lo: np.ndarray | None = None
+        self.child_hi: np.ndarray | None = None
+        if children is not None:
+            self.refresh_child_mbrs()
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for leaf nodes (holding data rows)."""
+        return self.rows is not None
+
+    @property
+    def fanout(self) -> int:
+        """Number of children (internal) or member rows (leaf)."""
+        if self.is_leaf:
+            return int(self.rows.size)
+        return len(self.children)
+
+    def refresh_child_mbrs(self) -> None:
+        """Re-stack the children MBR matrices after a structural change."""
+        self.child_lo = np.stack([c.lo for c in self.children])
+        self.child_hi = np.stack([c.hi for c in self.children])
+
+    def recompute_mbr(self) -> None:
+        """Tighten this node's MBR to exactly cover its children."""
+        if self.is_leaf:
+            raise ValueError("leaf MBRs are computed from store rows at build")
+        self.refresh_child_mbrs()
+        self.lo = self.child_lo.min(axis=0)
+        self.hi = self.child_hi.max(axis=0)
+
+    def height(self) -> int:
+        """Levels below (and including) this node; a leaf has height 1."""
+        node, h = self, 1
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def count_nodes(self) -> int:
+        """Total node count of the subtree (for memory accounting)."""
+        if self.is_leaf:
+            return 1
+        return 1 + sum(c.count_nodes() for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"RTreeNode({kind}, fanout={self.fanout})"

@@ -1,0 +1,32 @@
+"""Full-scan baseline: the "no index" end of the design space.
+
+Every query tests all ``n`` objects.  The paper uses Scan both as the
+data-to-insight yardstick (the first answer arrives after exactly one pass
+over the data, with zero preparation) and as the flat reference line in
+every convergence plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.index.base import SpatialIndex
+from repro.queries.range_query import RangeQuery
+
+
+class ScanIndex(SpatialIndex):
+    """Answer queries by a single vectorized pass over the whole store."""
+
+    name = "Scan"
+
+    def __init__(self, store: BoxStore) -> None:
+        super().__init__(store)
+
+    def build(self) -> None:
+        """Nothing to build — scans need no preparation at all."""
+        self._built = True
+
+    def _query(self, query: RangeQuery) -> np.ndarray:
+        self.stats.objects_tested += self._store.n
+        return self._store.scan_range(0, self._store.n, query.lo, query.hi)

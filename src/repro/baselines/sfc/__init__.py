@@ -1,0 +1,23 @@
+"""Z-order SFC baselines: the static index and the incremental cracker."""
+
+from repro.baselines.sfc.sfc_index import SFCIndex
+from repro.baselines.sfc.sfcracker import SFCrackerIndex
+from repro.baselines.sfc.zorder import (
+    PAPER_BITS_PER_DIM,
+    ZGrid,
+    adaptive_min_size,
+    morton_decode,
+    morton_encode,
+    zrange_decompose,
+)
+
+__all__ = [
+    "PAPER_BITS_PER_DIM",
+    "SFCIndex",
+    "SFCrackerIndex",
+    "ZGrid",
+    "adaptive_min_size",
+    "morton_decode",
+    "morton_encode",
+    "zrange_decompose",
+]

@@ -1,0 +1,28 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation."""
+
+from repro.bench.experiments import EXPERIMENTS, SCALES, Scale, run_experiment
+from repro.bench.metrics import (
+    break_even_query,
+    converged_slowdown,
+    cumulative_ratio,
+    data_to_insight_factor,
+    speedup_tail,
+)
+from repro.bench.reporting import ExperimentReport
+from repro.bench.runner import QueryTiming, RunResult, run_workload
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "QueryTiming",
+    "RunResult",
+    "SCALES",
+    "Scale",
+    "break_even_query",
+    "converged_slowdown",
+    "cumulative_ratio",
+    "data_to_insight_factor",
+    "run_experiment",
+    "run_workload",
+    "speedup_tail",
+]

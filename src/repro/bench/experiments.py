@@ -1,0 +1,1140 @@
+"""Experiment definitions: one per table/figure of the paper's Section 6.
+
+Every experiment regenerates the corresponding figure's rows/series at a
+configurable :class:`Scale` (the paper's 450M-object datasets are scaled
+down for pure-Python execution; DESIGN.md §4 explains why the curve
+*shapes* survive scaling).  Each report prints the paper's expected shape
+next to the measured numbers.
+
+Run via ``python -m repro.bench <experiment> [--scale small]`` or the
+``quasii-bench`` console script; programmatic access through
+:data:`EXPERIMENTS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import (
+    MosaicIndex,
+    RTreeIndex,
+    SFCIndex,
+    SFCrackerIndex,
+    ScanIndex,
+    UniformGridIndex,
+)
+from repro.bench.metrics import (
+    break_even_query,
+    converged_slowdown,
+    cumulative_ratio,
+    data_to_insight_factor,
+    sample_indices,
+    smoothed_series,
+    speedup_tail,
+    work_break_even_query,
+    work_insight_factor,
+    work_ratio,
+)
+from repro.bench.reporting import ExperimentReport
+from repro.bench.runner import RunResult, run_workload
+from repro.core import QuasiiIndex
+from repro.datasets import Dataset, make_neuro_like, make_uniform
+from repro.errors import ConfigurationError
+from repro.queries import (
+    clustered_workload,
+    sequential_workload,
+    uniform_workload,
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizing for one experiment run.
+
+    The paper's values appear in parentheses in the field comments; the
+    presets scale object counts down ~4 orders of magnitude while keeping
+    every workload *shape* parameter (cluster counts, selectivities,
+    query-per-cluster ratios) identical.
+    """
+
+    name: str
+    neuro_n: int           # (450M) skewed dataset size
+    uniform_n: int         # (500M) uniform dataset size
+    clusters: int = 5      # (5) query clusters
+    per_cluster: int = 100  # (100) queries per cluster
+    clustered_fraction: float = 1e-4   # (0.01%) clustered query volume
+    uniform_queries: int = 2000        # (10000) uniform workload length
+    uniform_fraction: float = 1e-3     # (0.1%) uniform query volume
+    selectivity_fractions: tuple[float, ...] = (1e-5, 1e-2, 1e-1)  # (0.001/1/10%)
+    selectivity_queries: int = 800     # (5000) queries per selectivity
+    grid_candidates: tuple[int, ...] = (8, 16, 24, 40)  # sweep candidates
+    grid_uniform_parts: int = 16       # (100) tuned grid, uniform data
+    grid_neuro_parts: int = 24         # (220) tuned grid, skewed data
+    seed: int = 7
+
+
+SCALES: dict[str, Scale] = {
+    # Harness validation: tiny and fast.  Curve *shapes* are only
+    # meaningful at "small" and above — at 20k objects the (vectorized)
+    # static build is too cheap relative to per-query overheads.
+    "smoke": Scale(
+        name="smoke",
+        neuro_n=20_000,
+        uniform_n=20_000,
+        clusters=3,
+        per_cluster=20,
+        clustered_fraction=2e-3,
+        uniform_queries=200,
+        uniform_fraction=2e-3,
+        selectivity_queries=100,
+        grid_candidates=(6, 10, 16),
+        grid_uniform_parts=10,
+        grid_neuro_parts=16,
+    ),
+    # Default: large enough that build-vs-query cost ratios have the
+    # paper's sign (see EXPERIMENTS.md for the calibration discussion).
+    "small": Scale(
+        name="small",
+        neuro_n=600_000,
+        uniform_n=600_000,
+        uniform_queries=2500,
+        selectivity_queries=600,
+        # The vectorized CSR grid only develops an interior optimum once
+        # per-query cell counts reach the tens of thousands; the range
+        # must extend that far for the Figure 6b sweep to turn over.
+        grid_candidates=(16, 32, 64, 128, 256),
+        grid_uniform_parts=64,
+        grid_neuro_parts=128,
+    ),
+    "medium": Scale(
+        name="medium",
+        neuro_n=2_000_000,
+        uniform_n=1_500_000,
+        uniform_queries=5000,
+        selectivity_queries=1200,
+        grid_candidates=(16, 32, 64, 128, 256),
+        grid_uniform_parts=64,
+        grid_neuro_parts=128,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Dataset / workload / run caches (shared across experiments in one process)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=8)
+def _neuro(scale: Scale) -> Dataset:
+    # Object extents are scaled to the paper's neuroscience regime:
+    # *typical* segments are small (tight R-Tree leaves), but a 1% tail of
+    # long axon segments pushes the maximum extent to ~the clustered query
+    # window side ((1e-4)^(1/3) * 10000 ≈ 464 units), so query extension
+    # multiplies the tested volume severalfold — the Figure 6a operating
+    # point (see DESIGN.md §4).
+    return make_neuro_like(
+        scale.neuro_n,
+        seed=scale.seed,
+        segment_length=(10.0, 60.0),
+        segment_thickness=(2.0, 8.0),
+        long_fraction=0.01,
+        long_length=(150.0, 400.0),
+    )
+
+
+@lru_cache(maxsize=8)
+def _uniform(scale: Scale, n: int | None = None) -> Dataset:
+    return make_uniform(n or scale.uniform_n, seed=scale.seed)
+
+
+@lru_cache(maxsize=8)
+def _clustered_queries(scale: Scale):
+    return clustered_workload(
+        _neuro(scale).universe,
+        n_clusters=scale.clusters,
+        queries_per_cluster=scale.per_cluster,
+        volume_fraction=scale.clustered_fraction,
+        seed=scale.seed + 1,
+    )
+
+
+def _fresh_index(kind: str, ds: Dataset, scale: Scale):
+    """A new index instance over a private copy of the dataset store."""
+    store = ds.store.copy()
+    if kind == "Scan":
+        return ScanIndex(store)
+    if kind == "QUASII":
+        return QuasiiIndex(store)
+    if kind == "R-Tree":
+        return RTreeIndex(store)
+    if kind == "SFC":
+        return SFCIndex(store, ds.universe)
+    if kind == "SFCracker":
+        return SFCrackerIndex(store, ds.universe)
+    if kind == "Mosaic":
+        return MosaicIndex(store, ds.universe)
+    if kind == "Grid":
+        parts = (
+            scale.grid_neuro_parts
+            if ds.name.startswith("neuro")
+            else scale.grid_uniform_parts
+        )
+        return UniformGridIndex(store, ds.universe, parts, "query_extension")
+    if kind == "GridReplication":
+        parts = (
+            scale.grid_neuro_parts
+            if ds.name.startswith("neuro")
+            else scale.grid_uniform_parts
+        )
+        return UniformGridIndex(store, ds.universe, parts, "replication")
+    raise ConfigurationError(f"unknown index kind {kind!r}")
+
+
+_CLUSTERED_KINDS = ("Scan", "SFC", "SFCracker", "Grid", "Mosaic", "R-Tree", "QUASII")
+
+
+@lru_cache(maxsize=4)
+def _clustered_runs(scale: Scale) -> dict[str, RunResult]:
+    """All seven systems over the clustered neuro workload (Figures 7–9)."""
+    ds = _neuro(scale)
+    queries = _clustered_queries(scale)
+    return {
+        kind: run_workload(_fresh_index(kind, ds, scale), queries)
+        for kind in _CLUSTERED_KINDS
+    }
+
+
+@lru_cache(maxsize=4)
+def _uniform_runs(scale: Scale) -> dict[str, RunResult]:
+    """QUASII/R-Tree/Grid/Scan over the uniform workload (Figure 10)."""
+    ds = _uniform(scale)
+    queries = uniform_workload(
+        ds.universe, scale.uniform_queries, scale.uniform_fraction,
+        seed=scale.seed + 2,
+    )
+    return {
+        kind: run_workload(_fresh_index(kind, ds, scale), queries)
+        for kind in ("Scan", "Grid", "R-Tree", "QUASII")
+    }
+
+
+def _series_table(
+    report: ExperimentReport,
+    title: str,
+    runs: dict[str, RunResult],
+    cumulative: bool,
+    points: int = 14,
+) -> None:
+    """Emit a sampled time-series table (one row per sampled query seq)."""
+    n = min(r.n_queries for r in runs.values())
+    picks = sample_indices(n, points)
+    headers = ["query#"] + [f"{name} (ms)" for name in runs]
+    rows = []
+    series = {
+        name: (
+            r.cumulative_seconds() if cumulative else r.query_seconds()
+        )
+        for name, r in runs.items()
+    }
+    for i in picks:
+        row: list[object] = [i + 1]
+        for name in runs:
+            if cumulative:
+                value = series[name][i]
+            else:
+                value = smoothed_series(series[name], i)
+            row.append(round(value * 1000, 3))
+        rows.append(row)
+    report.add_table(title, headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 6a — data-assignment penalty of space-oriented partitioning
+# ----------------------------------------------------------------------
+def fig6a(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig6a",
+        "Space-oriented partitioning: R-Tree vs GridQueryExt vs "
+        "GridReplication, clustered queries on the skewed dataset",
+    )
+    ds = _neuro(scale)
+    # The paper's 0.01% queries return ~45k objects on 450M (hundreds of
+    # R-Tree leaves); at reproduction scale the same fraction returns one
+    # leaf's worth, burying the assignment effects under leaf fringe.
+    # Keep the paper's *results-per-leaf* regime instead: ~20 leaves of
+    # results per query.
+    fraction = min(1e-2, 20.0 * 60.0 / ds.n)
+    queries = clustered_workload(
+        ds.universe,
+        n_clusters=scale.clusters,
+        queries_per_cluster=scale.per_cluster,
+        volume_fraction=fraction,
+        seed=scale.seed + 1,
+    )
+    runs = {}
+    for kind in ("R-Tree", "Grid", "GridReplication"):
+        runs[kind] = run_workload(_fresh_index(kind, ds, scale), queries)
+    rows = []
+    for kind, run in runs.items():
+        rows.append(
+            [
+                kind,
+                round(run.total_seconds(include_build=False), 4),
+                run.total_objects_tested(),
+                round(
+                    run.total_objects_tested()
+                    / max(runs["R-Tree"].total_objects_tested(), 1),
+                    2,
+                ),
+            ]
+        )
+    report.add_table(
+        "Query execution time (build excluded), as in Figure 6a",
+        ["index", "total query time (s)", "objects tested", "x R-Tree objects"],
+        rows,
+    )
+    qe = runs["Grid"].total_seconds(include_build=False)
+    rep = runs["GridReplication"].total_seconds(include_build=False)
+    rt = runs["R-Tree"].total_seconds(include_build=False)
+    report.add_note(
+        "paper: GridQueryExt tests ~3.1x more objects than the R-Tree "
+        "(the machine-independent signal); measured: "
+        f"{runs['Grid'].total_objects_tested() / max(runs['R-Tree'].total_objects_tested(), 1):.1f}x"
+    )
+    report.add_note(
+        f"paper shape (wall-clock): R-Tree beats GridQueryExt beats "
+        f"GridReplication (19.4x / 3.7x); measured: {rep / rt:.2f}x over "
+        f"replication, {qe / rt:.2f}x over query extension.  Note the "
+        f"substrate skew: the grid's gather is one vectorized kernel while "
+        f"the R-Tree walk is Python-level, and at reproduction scale the "
+        f"replication factor is mild (objects are small relative to the "
+        f"tuned cells), so wall-clock ordering may invert — see "
+        f"EXPERIMENTS.md"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 6b — grid configuration sensitivity
+# ----------------------------------------------------------------------
+def fig6b(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig6b",
+        "Grid configuration: best partitions-per-dimension depends on the "
+        "data distribution; off-configurations hurt",
+    )
+    datasets = {
+        "Uniform": _uniform(scale),
+        "Neuro": _neuro(scale),
+    }
+    sweep: dict[str, dict[int, float]] = {}
+    for ds_name, ds in datasets.items():
+        queries = clustered_workload(
+            ds.universe,
+            n_clusters=scale.clusters,
+            queries_per_cluster=scale.per_cluster,
+            volume_fraction=scale.clustered_fraction,
+            seed=scale.seed + 1,
+        )
+        sweep[ds_name] = {}
+        for parts in scale.grid_candidates:
+            idx = UniformGridIndex(ds.store.copy(), ds.universe, parts)
+            run = run_workload(idx, queries)
+            sweep[ds_name][parts] = run.total_seconds(include_build=False)
+    report.add_table(
+        "Parameter sweep: total query time (s) per configuration",
+        ["dataset"] + [f"{p} parts/dim" for p in scale.grid_candidates],
+        [
+            [ds_name] + [round(sweep[ds_name][p], 4) for p in scale.grid_candidates]
+            for ds_name in datasets
+        ],
+    )
+    best = {ds_name: min(times, key=times.get) for ds_name, times in sweep.items()}
+    rows = []
+    for ds_name in datasets:
+        own = sweep[ds_name][best[ds_name]]
+        other_cfg = best["Neuro" if ds_name == "Uniform" else "Uniform"]
+        cross = sweep[ds_name][other_cfg]
+        rows.append(
+            [
+                ds_name,
+                best[ds_name],
+                round(own, 4),
+                other_cfg,
+                round(cross, 4),
+                round(cross / own, 2),
+            ]
+        )
+    report.add_table(
+        "Figure 6b: each dataset under its own vs the other dataset's best config",
+        [
+            "dataset",
+            "best parts",
+            "time @ best (s)",
+            "other's parts",
+            "time @ other (s)",
+            "penalty x",
+        ],
+        rows,
+    )
+    report.add_note(
+        "paper shape: the skewed (Neuro) dataset needs more partitions than "
+        "the Uniform one, and each dataset slows down under the other's "
+        f"configuration; measured best: Uniform={best['Uniform']}, "
+        f"Neuro={best['Neuro']}"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figures 7 & 8 — incremental vs static, per category
+# ----------------------------------------------------------------------
+_PANELS = {
+    "one-dimensional": ("SFC", "SFCracker", "Scan"),
+    "space-oriented": ("Grid", "Mosaic", "Scan"),
+    "data-oriented": ("R-Tree", "QUASII", "Scan"),
+}
+
+
+def fig7(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig7",
+        "Convergence: per-query execution time of each incremental index "
+        "vs its static counterpart and Scan (clustered workload)",
+    )
+    runs = _clustered_runs(scale)
+    for panel, kinds in _PANELS.items():
+        _series_table(
+            report,
+            f"Figure 7 ({panel}): per-query time",
+            {k: runs[k] for k in kinds},
+            cumulative=False,
+        )
+    for panel, (static, incremental, _) in _PANELS.items():
+        slowdown = converged_slowdown(runs[incremental], runs[static], tail=50)
+        report.add_note(
+            f"{panel}: converged {incremental} per-query time is "
+            f"{slowdown:.2f}x its static counterpart ({static}) — paper "
+            f"shape: ratio approaches 1 after the clusters are refined"
+        )
+    report.add_note(
+        "paper shape: per-cluster peaks — the first query of each cluster "
+        "is slow, later queries in the cluster drop toward the static line"
+    )
+    return report
+
+
+def fig8(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig8",
+        "Cumulative execution time (including the static build step) per "
+        "category (clustered workload)",
+    )
+    runs = _clustered_runs(scale)
+    for panel, kinds in _PANELS.items():
+        _series_table(
+            report,
+            f"Figure 8 ({panel}): cumulative time",
+            {k: runs[k] for k in kinds},
+            cumulative=True,
+        )
+    report.add_table(
+        "Machine-independent work (whole run)",
+        [
+            "index",
+            "objects tested",
+            "rows reorganized",
+            "queries that moved data",
+        ],
+        [
+            [
+                k,
+                runs[k].total_objects_tested(),
+                sum(t.rows_reorganized for t in runs[k].timings),
+                runs[k].queries_with_reorganization(),
+            ]
+            for k in _CLUSTERED_KINDS
+        ],
+    )
+    be_sfc = break_even_query(runs["SFCracker"], runs["SFC"])
+    be_mosaic = break_even_query(runs["Mosaic"], runs["Grid"])
+    be_quasii = break_even_query(runs["QUASII"], runs["R-Tree"])
+    report.add_note(
+        f"wall-clock break-even vs static counterpart — SFCracker: "
+        f"{be_sfc or 'never'} (paper: 23), Mosaic: {be_mosaic or 'never'} "
+        f"(paper: 100), QUASII: {be_quasii or 'never'} (paper: never)"
+    )
+    wbe_sfc = work_break_even_query(runs["SFCracker"], runs["SFC"])
+    wbe_mosaic = work_break_even_query(runs["Mosaic"], runs["Grid"])
+    wbe_quasii = work_break_even_query(runs["QUASII"], runs["R-Tree"])
+    report.add_note(
+        f"work-model break-even (rows touched, substrate-independent) — "
+        f"SFCracker: {wbe_sfc or 'never'}, Mosaic: {wbe_mosaic or 'never'}, "
+        f"QUASII: {wbe_quasii or 'never'}"
+    )
+    report.add_note(
+        "paper shape: QUASII's cumulative curve stays below the R-Tree's "
+        f"for the whole run; measured QUASII/R-Tree — wall-clock "
+        f"{cumulative_ratio(runs['QUASII'], runs['R-Tree']):.2f}, work "
+        f"{work_ratio(runs['QUASII'], runs['R-Tree']):.2f} "
+        "(paper: 0.394 after 500 queries)"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — comparative analysis of the incremental approaches
+# ----------------------------------------------------------------------
+def fig9a(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig9a",
+        "Comparative convergence of the incremental approaches vs R-Tree "
+        "and Scan (clustered workload)",
+    )
+    runs = _clustered_runs(scale)
+    kinds = ("Scan", "R-Tree", "QUASII", "Mosaic", "SFCracker")
+    _series_table(
+        report,
+        "Figure 9a: per-query time",
+        {k: runs[k] for k in kinds},
+        cumulative=False,
+    )
+    first = {k: runs[k].timings[0].seconds for k in kinds}
+    rows = [
+        [k, round(first[k] * 1000, 3), round(first[k] / first["Scan"], 2)]
+        for k in ("Scan", "SFCracker", "Mosaic", "QUASII")
+    ]
+    report.add_table(
+        "First-query (data-to-insight) cost",
+        ["index", "first query (ms)", "x Scan"],
+        rows,
+    )
+    report.add_note(
+        "paper shape: first-query cost Scan < QUASII < Mosaic < SFCracker "
+        "(Scan is 4.6x / 9.2x / 13.7x faster respectively); measured: "
+        f"QUASII {first['QUASII'] / first['Scan']:.1f}x, "
+        f"Mosaic {first['Mosaic'] / first['Scan']:.1f}x, "
+        f"SFCracker {first['SFCracker'] / first['Scan']:.1f}x Scan"
+    )
+    report.add_note(
+        "paper: converged QUASII outperforms Mosaic 3.68x and SFCracker "
+        f"4.9x; measured: {speedup_tail(runs['Mosaic'], runs['QUASII'], 50):.2f}x "
+        f"and {speedup_tail(runs['SFCracker'], runs['QUASII'], 50):.2f}x"
+    )
+    return report
+
+
+def fig9b(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig9b",
+        "Comparative cumulative time of the incremental approaches vs the "
+        "cheapest static index (Grid)",
+    )
+    runs = _clustered_runs(scale)
+    kinds = ("Grid", "QUASII", "Mosaic", "SFCracker")
+    _series_table(
+        report,
+        "Figure 9b: cumulative time (build included)",
+        {k: runs[k] for k in kinds},
+        cumulative=True,
+    )
+    rows = []
+    for k in ("SFCracker", "Mosaic", "QUASII"):
+        rows.append(
+            [
+                k,
+                break_even_query(runs[k], runs["Grid"]) or "never",
+                work_break_even_query(runs[k], runs["Grid"]) or "never",
+                round(cumulative_ratio(runs[k], runs["Grid"]), 2),
+                round(work_ratio(runs[k], runs["Grid"]), 2),
+                round(data_to_insight_factor(runs[k], runs["Grid"]), 1),
+                round(work_insight_factor(runs[k], runs["Grid"]), 1),
+            ]
+        )
+    report.add_table(
+        "Break-even vs Grid and end-of-run ratios (time and work models)",
+        [
+            "index",
+            "break-even (time)",
+            "break-even (work)",
+            "cumulative/Grid (time)",
+            "cumulative/Grid (work)",
+            "insight speedup (time)",
+            "insight speedup (work)",
+        ],
+        rows,
+    )
+    report.add_note(
+        "paper shape: SFCracker crosses Grid after ~13 queries, Mosaic "
+        "after ~100; QUASII ends at 84% of Grid's cumulative time and "
+        "answers its first query 5.1x sooner than Grid"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — uniform workload
+# ----------------------------------------------------------------------
+def fig10(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig10",
+        "Uniform workload: convergence and cumulative time, first and "
+        "last stretches (QUASII vs R-Tree vs Scan, + Grid cumulative)",
+    )
+    runs = _uniform_runs(scale)
+    n = runs["QUASII"].n_queries
+    head = max(10, n // 4)
+    tail = max(10, n // 20)
+    per_query = {k: runs[k] for k in ("R-Tree", "QUASII", "Scan")}
+    _series_table(
+        report,
+        f"Figure 10a: per-query time, first {head} queries",
+        {
+            k: RunResult(r.name, r.build_seconds, r.timings[:head])
+            for k, r in per_query.items()
+        },
+        cumulative=False,
+    )
+    _series_table(
+        report,
+        f"Figure 10b: per-query time, last {tail} queries",
+        {
+            k: RunResult(r.name, r.build_seconds, r.timings[-tail:])
+            for k, r in per_query.items()
+        },
+        cumulative=False,
+    )
+    cum = {k: runs[k] for k in ("R-Tree", "QUASII", "Grid", "Scan")}
+    _series_table(
+        report, "Figure 10c/d: cumulative time", cum, cumulative=True
+    )
+    quasii = runs["QUASII"]
+    refined_tail = sum(
+        1 for t in quasii.timings[-tail:] if t.rows_reorganized == 0
+    )
+    report.add_table(
+        "Summary",
+        ["metric", "value", "paper"],
+        [
+            [
+                "QUASII cumulative / R-Tree",
+                round(cumulative_ratio(quasii, runs["R-Tree"]), 3),
+                "0.75 after 10000 queries",
+            ],
+            [
+                "QUASII cumulative / Grid",
+                round(cumulative_ratio(quasii, runs["Grid"]), 3),
+                "0.638 after 10000 queries",
+            ],
+            [
+                "data-to-insight speedup vs R-Tree",
+                round(data_to_insight_factor(quasii, runs["R-Tree"]), 1),
+                "10.3x",
+            ],
+            [
+                "data-to-insight speedup vs Grid",
+                round(data_to_insight_factor(quasii, runs["Grid"]), 1),
+                "5.6x",
+            ],
+            [
+                f"last-{tail} queries with zero reorganization",
+                f"{refined_tail}/{tail}",
+                "64/100 fully refined",
+            ],
+            [
+                "converged QUASII / R-Tree per-query",
+                round(converged_slowdown(quasii, runs["R-Tree"], tail), 3),
+                "1.075 (7.5% slower)",
+            ],
+            [
+                "QUASII work / R-Tree work (substrate-independent)",
+                round(work_ratio(quasii, runs["R-Tree"]), 3),
+                "0.75 (in time)",
+            ],
+            [
+                "work-model insight factor vs R-Tree",
+                round(work_insight_factor(quasii, runs["R-Tree"]), 1),
+                "10.3x (in time)",
+            ],
+            [
+                "work-model insight factor vs Grid",
+                round(work_insight_factor(quasii, runs["Grid"]), 1),
+                "5.6x (in time)",
+            ],
+        ],
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — scalability
+# ----------------------------------------------------------------------
+def fig11(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig11",
+        "Scalability: QUASII vs R-Tree cumulative time at two dataset "
+        "sizes (R-Tree split into Building and Querying)",
+    )
+    rows = []
+    notes = []
+    for mult, label in ((1, "1x"), (2, "2x")):
+        n = scale.uniform_n * mult
+        ds = _uniform(scale, n)
+        queries = uniform_workload(
+            ds.universe, scale.uniform_queries, scale.uniform_fraction,
+            seed=scale.seed + 3,
+        )
+        rtree = run_workload(_fresh_index("R-Tree", ds, scale), queries)
+        quasii = run_workload(_fresh_index("QUASII", ds, scale), queries)
+        executed_during_build = int(
+            np.searchsorted(quasii.cumulative_seconds(), rtree.build_seconds)
+        )
+        rows.append(
+            [
+                f"{label} ({n:,} objects)",
+                round(rtree.build_seconds, 3),
+                round(rtree.total_seconds() - rtree.build_seconds, 3),
+                round(rtree.total_seconds(), 3),
+                round(quasii.total_seconds(), 3),
+                round(cumulative_ratio(quasii, rtree), 3),
+                round(work_ratio(quasii, rtree), 3),
+                round(data_to_insight_factor(quasii, rtree), 1),
+            ]
+        )
+        notes.append(
+            f"{label}: QUASII had executed {executed_during_build} queries "
+            f"by the time the R-Tree finished building (paper: ~8000 of "
+            f"10000 at both sizes)"
+        )
+    report.add_table(
+        "Figure 11: cumulative time split",
+        [
+            "dataset",
+            "R-Tree build (s)",
+            "R-Tree query (s)",
+            "R-Tree total (s)",
+            "QUASII total (s)",
+            "QUASII/R-Tree (time)",
+            "QUASII/R-Tree (work)",
+            "insight speedup",
+        ],
+        rows,
+    )
+    for note in notes:
+        report.add_note(note)
+    report.add_note(
+        "paper shape: the QUASII/R-Tree ratio is stable as n doubles "
+        "(0.75 at 500M vs 0.737 at 1B) — trends maintained with size"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — impact of selectivity
+# ----------------------------------------------------------------------
+def fig12(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig12",
+        "Impact of query selectivity on QUASII vs R-Tree cumulative time",
+    )
+    ds = _uniform(scale)
+    rows = []
+    for fraction in scale.selectivity_fractions:
+        queries = uniform_workload(
+            ds.universe, scale.selectivity_queries, fraction,
+            seed=scale.seed + 4,
+        )
+        rtree = run_workload(_fresh_index("R-Tree", ds, scale), queries)
+        quasii = run_workload(_fresh_index("QUASII", ds, scale), queries)
+        rows.append(
+            [
+                f"{fraction * 100:g}%",
+                round(rtree.build_seconds, 3),
+                round(rtree.total_seconds() - rtree.build_seconds, 3),
+                round(quasii.total_seconds(), 3),
+                round(cumulative_ratio(quasii, rtree), 3),
+                round(work_ratio(quasii, rtree), 3),
+                break_even_query(quasii, rtree) or "never",
+            ]
+        )
+    report.add_table(
+        "Figure 12: cumulative time per query selectivity",
+        [
+            "selectivity",
+            "R-Tree build (s)",
+            "R-Tree query (s)",
+            "QUASII total (s)",
+            "QUASII/R-Tree (time)",
+            "QUASII/R-Tree (work)",
+            "break-even query",
+        ],
+        rows,
+    )
+    report.add_note(
+        "paper shape: the QUASII/R-Tree ratio rises with selectivity "
+        "(68.8% at 0.001%, 79.8% at 1%, 85.6% at 10%) — large queries "
+        "reorganize lots of data, so QUASII's edge narrows"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices DESIGN.md calls out)
+# ----------------------------------------------------------------------
+def ablation_representative(scale: Scale) -> ExperimentReport:
+    """Footnote 1 of Section 5.1: lower vs center vs upper representative."""
+    report = ExperimentReport(
+        "ablation-rep",
+        "Slice-assignment representative: lower (paper) vs center vs upper "
+        "coordinate — results identical, cost profile compared",
+    )
+    ds = _neuro(scale)
+    queries = _clustered_queries(scale)
+    rows = []
+    for rep in ("lower", "center", "upper"):
+        run = run_workload(
+            QuasiiIndex(ds.store.copy(), representative=rep), queries
+        )
+        rows.append(
+            [
+                rep,
+                round(run.timings[0].seconds * 1000, 2),
+                round(run.total_seconds(), 3),
+                round(run.tail_mean_seconds(50) * 1000, 3),
+                run.total_objects_tested(),
+                sum(t.rows_reorganized for t in run.timings),
+            ]
+        )
+    report.add_table(
+        "QUASII under each representative (clustered workload)",
+        [
+            "representative",
+            "first query (ms)",
+            "total (s)",
+            "tail per-query (ms)",
+            "objects tested",
+            "rows moved",
+        ],
+        rows,
+    )
+    report.add_note(
+        "paper: the alternatives 'can equally be used'; expected shape is "
+        "near-identical cost for all three (the center representative "
+        "halves the one-sided extension but extends on both sides)"
+    )
+    return report
+
+
+def ablation_tau(scale: Scale) -> ExperimentReport:
+    """Sensitivity of QUASII's single parameter (leaf threshold tau)."""
+    report = ExperimentReport(
+        "ablation-tau",
+        "QUASII's only knob: leaf threshold tau (paper fixes tau = 60, the "
+        "R-Tree node capacity)",
+    )
+    ds = _neuro(scale)
+    queries = _clustered_queries(scale)
+    rows = []
+    for tau in (15, 60, 240):
+        run = run_workload(QuasiiIndex(ds.store.copy(), tau=tau), queries)
+        index = QuasiiIndex(ds.store.copy(), tau=tau)
+        for q in queries:
+            index.query(q)
+        rows.append(
+            [
+                tau,
+                round(run.timings[0].seconds * 1000, 2),
+                round(run.total_seconds(), 3),
+                round(run.tail_mean_seconds(50) * 1000, 3),
+                sum(index.slice_counts()),
+                round(index.memory_bytes() / 1024, 1),
+            ]
+        )
+    report.add_table(
+        "tau sweep (clustered workload)",
+        [
+            "tau",
+            "first query (ms)",
+            "total (s)",
+            "tail per-query (ms)",
+            "slices",
+            "structure KiB",
+        ],
+        rows,
+    )
+    report.add_note(
+        "expected shape: small tau → more slices, more refinement work, "
+        "finer leaves (cheaper scans); large tau → fewer slices, coarser "
+        "leaves (more objects tested per query); tau = 60 balances both"
+    )
+    return report
+
+
+def ablation_split(scale: Scale) -> ExperimentReport:
+    """Artificial refinement cut: midpoint (paper) vs median."""
+    report = ExperimentReport(
+        "ablation-split",
+        "Artificial refinement cut strategy: space-balanced midpoint "
+        "(paper's c = (xl+xu)/2) vs data-balanced median",
+    )
+    ds = _neuro(scale)
+    queries = _clustered_queries(scale)
+    rows = []
+    for split in ("midpoint", "median"):
+        index = QuasiiIndex(ds.store.copy(), artificial_split=split)
+        run = run_workload(index, queries)
+        counts = index.slice_counts()
+        rows.append(
+            [
+                split,
+                round(run.total_seconds(), 3),
+                round(run.tail_mean_seconds(50) * 1000, 3),
+                sum(t.rows_reorganized for t in run.timings),
+                sum(counts),
+                run.total_objects_tested(),
+            ]
+        )
+    report.add_table(
+        "Artificial-split strategies (clustered workload)",
+        [
+            "strategy",
+            "total (s)",
+            "tail per-query (ms)",
+            "rows moved",
+            "slices",
+            "objects tested",
+        ],
+        rows,
+    )
+    report.add_note(
+        "the paper chose the midpoint for its lower cost ('uniform and "
+        "low-cost artificial slicing'); median splitting yields more "
+        "balanced slices on skewed data at the price of a selection pass "
+        "per split — on skewed clusters expect fewer slices but more "
+        "reorganization work for median"
+    )
+    return report
+
+
+def ablation_sequential(scale: Scale) -> ExperimentReport:
+    """Robustness probe: sweep order vs shuffled order of the same windows.
+
+    In relational cracking, a sequential sweep is the classic adversary:
+    every query cracks the still-uncracked remainder of the array, paying
+    O(remaining) again and again, where a random arrival order of the very
+    same queries halves the untouched region geometrically.  The
+    stochastic-cracking work the paper cites as [16] exists to fix exactly
+    this.  QUASII inherits the sensitivity on its top-level dimension;
+    this experiment quantifies it by replaying one set of sweep windows in
+    both orders.
+    """
+    report = ExperimentReport(
+        "ablation-sequential",
+        "Workload-order robustness: the same sweep windows executed in "
+        "sequential vs shuffled order (stochastic-cracking motivation, "
+        "paper's reference [16])",
+    )
+    ds = _uniform(scale)
+    # Half-overlapping windows marching once across the x axis.
+    sweep = sequential_workload(
+        ds.universe, 40, 1e-4, overlap=0.5, seed=scale.seed + 6
+    )
+    rng = np.random.default_rng(scale.seed + 7)
+    shuffled = [sweep[i] for i in rng.permutation(len(sweep))]
+    rows = []
+    for name, queries in (("sequential sweep", sweep), ("shuffled", shuffled)):
+        run = run_workload(QuasiiIndex(ds.store.copy()), queries)
+        moved = sum(t.rows_reorganized for t in run.timings)
+        reorganizing = run.queries_with_reorganization()
+        rows.append(
+            [
+                name,
+                round(run.total_seconds(), 3),
+                moved,
+                round(moved / ds.n, 2),
+                reorganizing,
+                round(moved / max(reorganizing, 1) / 1000, 1),
+            ]
+        )
+    report.add_table(
+        f"The same {len(sweep)} windows, two arrival orders",
+        [
+            "order",
+            "total (s)",
+            "rows moved",
+            "passes over data",
+            "queries that moved data",
+            "krows moved / such query",
+        ],
+        rows,
+    )
+    moved_seq = rows[0][2]
+    moved_shuf = rows[1][2]
+    report.add_note(
+        "expected shape (from cracking theory): the sweep order repeatedly "
+        "cracks the large remaining slab, so it moves more rows in total "
+        "than the shuffled order of the identical windows; measured: "
+        f"{moved_seq:,} vs {moved_shuf:,} "
+        f"({moved_seq / max(moved_shuf, 1):.2f}x).  The stochastic-cracking "
+        "remedy (random auxiliary cuts) would apply to QUASII directly"
+    )
+    return report
+
+
+def ablation_rtree_build(scale: Scale) -> ExperimentReport:
+    """Section 6.1's stated reason for STR: bulk loading beats insertion."""
+    report = ExperimentReport(
+        "ablation-rtree",
+        "R-Tree construction: STR bulk load (paper's choice) vs one-at-a-"
+        "time Guttman insertion",
+    )
+    # Guttman insertion is O(n) Python-level inserts; cap the dataset so
+    # the ablation stays tractable.
+    n = min(scale.uniform_n, 60_000)
+    ds = _uniform(scale, n)
+    queries = uniform_workload(
+        ds.universe, min(scale.uniform_queries, 300), scale.uniform_fraction,
+        seed=scale.seed + 5,
+    )
+    rows = []
+    for method in ("str", "guttman"):
+        idx = RTreeIndex(ds.store.copy(), method=method)
+        run = run_workload(idx, queries)
+        rows.append(
+            [
+                method,
+                round(run.build_seconds, 3),
+                round(run.tail_mean_seconds(100) * 1000, 3),
+                run.total_objects_tested(),
+                idx.height(),
+            ]
+        )
+    report.add_table(
+        f"STR vs Guttman at {n:,} objects",
+        [
+            "method",
+            "build (s)",
+            "tail per-query (ms)",
+            "objects tested",
+            "height",
+        ],
+        rows,
+    )
+    report.add_note(
+        "paper: bulk loading 'reduces overlap and decreases pre-processing "
+        "time compared to the R-Tree built by inserting one object at a "
+        "time' — both effects should be visible (build time gap is orders "
+        "of magnitude; objects tested favors STR)"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Headline numbers
+# ----------------------------------------------------------------------
+def headline(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(
+        "headline",
+        "The paper's headline claims, recomputed end-to-end",
+    )
+    cruns = _clustered_runs(scale)
+    uruns = _uniform_runs(scale)
+    rows = [
+        [
+            "data-to-insight reduction vs R-Tree (clustered)",
+            f"{data_to_insight_factor(cruns['QUASII'], cruns['R-Tree']):.1f}x",
+            "11.4x",
+        ],
+        [
+            "data-to-insight reduction vs Grid (clustered)",
+            f"{data_to_insight_factor(cruns['QUASII'], cruns['Grid']):.1f}x",
+            "5.1x",
+        ],
+        [
+            "QUASII cumulative / R-Tree (clustered)",
+            f"{cumulative_ratio(cruns['QUASII'], cruns['R-Tree']):.2f}",
+            "0.394",
+        ],
+        [
+            "QUASII cumulative / R-Tree (uniform)",
+            f"{cumulative_ratio(uruns['QUASII'], uruns['R-Tree']):.2f}",
+            "0.75",
+        ],
+        [
+            "converged slowdown vs R-Tree (uniform tail)",
+            f"{converged_slowdown(uruns['QUASII'], uruns['R-Tree'], 100):.2f}x",
+            "1.075x",
+        ],
+        [
+            "converged speedup over Mosaic",
+            f"{speedup_tail(cruns['Mosaic'], cruns['QUASII'], 50):.2f}x",
+            "3.68x",
+        ],
+        [
+            "converged speedup over SFCracker",
+            f"{speedup_tail(cruns['SFCracker'], cruns['QUASII'], 50):.2f}x",
+            "4.9x",
+        ],
+        [
+            "QUASII break-even vs R-Tree (clustered, time)",
+            str(break_even_query(cruns["QUASII"], cruns["R-Tree"]) or "never"),
+            "never",
+        ],
+        [
+            "QUASII break-even vs R-Tree (clustered, work model)",
+            str(work_break_even_query(cruns["QUASII"], cruns["R-Tree"]) or "never"),
+            "never",
+        ],
+        [
+            "QUASII work / R-Tree work (clustered)",
+            f"{work_ratio(cruns['QUASII'], cruns['R-Tree']):.2f}",
+            "(0.394 in time)",
+        ],
+        [
+            "work-model insight factor vs R-Tree",
+            f"{work_insight_factor(cruns['QUASII'], cruns['R-Tree']):.1f}x",
+            "11.4x (time)",
+        ],
+    ]
+    report.add_table("Headline comparison", ["metric", "measured", "paper"], rows)
+    return report
+
+
+#: Registry: experiment id -> (function, description).
+EXPERIMENTS: dict[str, tuple[Callable[[Scale], ExperimentReport], str]] = {
+    "fig6a": (fig6a, "data-assignment penalty (R-Tree vs grids)"),
+    "fig6b": (fig6b, "grid configuration sensitivity"),
+    "fig7": (fig7, "incremental vs static: convergence"),
+    "fig8": (fig8, "incremental vs static: cumulative time"),
+    "fig9a": (fig9a, "comparative convergence of incrementals"),
+    "fig9b": (fig9b, "comparative cumulative time of incrementals"),
+    "fig10": (fig10, "uniform workload convergence + cumulative"),
+    "fig11": (fig11, "scalability across dataset sizes"),
+    "fig12": (fig12, "impact of query selectivity"),
+    "headline": (headline, "paper headline numbers"),
+    "ablation-rep": (ablation_representative, "representative coordinate ablation"),
+    "ablation-tau": (ablation_tau, "leaf threshold sensitivity"),
+    "ablation-split": (ablation_split, "artificial split: midpoint vs median"),
+    "ablation-sequential": (ablation_sequential, "random vs sequential access"),
+    "ablation-rtree": (ablation_rtree_build, "STR vs Guttman construction"),
+}
+
+
+def run_experiment(name: str, scale: Scale | str = "small") -> ExperimentReport:
+    """Run one experiment by id; accepts a scale preset name or object."""
+    if isinstance(scale, str):
+        try:
+            scale = SCALES[scale]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+            ) from None
+    try:
+        func, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return func(scale)

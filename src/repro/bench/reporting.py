@@ -1,0 +1,92 @@
+"""Plain-text report rendering for experiments.
+
+Every experiment produces an :class:`ExperimentReport`: a set of titled
+tables (the "rows/series the paper reports") plus free-form notes that
+state the expected shape from the paper next to the measured outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """One printable table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+
+
+@dataclass
+class ExperimentReport:
+    """Everything an experiment run produced."""
+
+    experiment: str
+    description: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(
+        self, title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+    ) -> None:
+        """Append a table, stringifying all cells."""
+        self.tables.append(
+            Table(title, [str(h) for h in headers], [[_fmt(c) for c in r] for r in rows])
+        )
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form observation line."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the full report as plain text."""
+        out: list[str] = []
+        bar = "=" * 72
+        out.append(bar)
+        out.append(f"{self.experiment}: {self.description}")
+        out.append(bar)
+        for table in self.tables:
+            out.append("")
+            out.append(f"-- {table.title}")
+            out.append(render_table(table.headers, table.rows))
+        if self.notes:
+            out.append("")
+            for note in self.notes:
+                out.append(f"* {note}")
+        out.append("")
+        return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}"
+        return f"{cell:.5f}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i in range(cols):
+            widths[i] = max(widths[i], len(row[i]) if i < len(row) else 0)
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            str(cells[i]).rjust(widths[i]) if i else str(cells[i]).ljust(widths[i])
+            for i in range(cols)
+        )
+
+    sep = "  ".join("-" * w for w in widths)
+    body = [line(headers), sep]
+    body.extend(line(r) for r in rows)
+    return "\n".join(body)

@@ -1,0 +1,27 @@
+"""QUASII core: configuration, cracking kernels, slices, and the index."""
+
+from repro.core.config import PAPER_TAU, QuasiiConfig
+from repro.core.cracking import (
+    REPRESENTATIVES,
+    crack,
+    crack_values,
+    partition_order,
+    range_dim_stats,
+    representative_keys,
+)
+from repro.core.quasii import QuasiiIndex
+from repro.core.slices import Slice, SliceList
+
+__all__ = [
+    "PAPER_TAU",
+    "REPRESENTATIVES",
+    "QuasiiConfig",
+    "QuasiiIndex",
+    "Slice",
+    "SliceList",
+    "crack",
+    "crack_values",
+    "partition_order",
+    "range_dim_stats",
+    "representative_keys",
+]

@@ -1,0 +1,99 @@
+"""QUASII configuration: the single threshold τ and its per-level ladder.
+
+QUASII has one knob (Section 5.1): the bottom-level slice capacity τ — the
+paper uses τ = 60, the same as its R-Tree node capacity.  Upper levels get
+geometrically larger thresholds: with ``r = ceil((n / τ) ** (1/d))``
+sub-slices per slice (Equation 1), the level-``l`` threshold is
+
+    τ_d = τ,     τ_{l-1} = r · τ_l
+
+so the top level tolerates slices of ``r^(d-1) · τ`` objects.  A slice is
+*fully refined at its level* once it holds no more than its level's
+threshold; only then does querying descend into the next dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Bottom-level slice capacity used throughout the paper's evaluation.
+PAPER_TAU = 60
+
+
+@dataclass(frozen=True)
+class QuasiiConfig:
+    """Resolved QUASII configuration for a concrete dataset.
+
+    Use :meth:`for_dataset` to derive the per-level ladder from the paper's
+    formula; construct directly (with explicit ``level_thresholds``) only in
+    tests that need a handcrafted ladder, such as the paper's Figure 4
+    walk-through (τ_x = 4, τ_y = 2).
+
+    Attributes
+    ----------
+    ndim:
+        Dataset dimensionality ``d`` = number of index levels.
+    level_thresholds:
+        ``d`` thresholds, top level first, non-increasing, ending in τ.
+    fanout:
+        The ``r`` of Equation 1 (sub-slices per slice), kept for reports.
+    """
+
+    ndim: int
+    level_thresholds: tuple[int, ...]
+    fanout: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ndim < 1:
+            raise ConfigurationError(f"need ndim >= 1, got {self.ndim}")
+        if len(self.level_thresholds) != self.ndim:
+            raise ConfigurationError(
+                f"need one threshold per dimension: got "
+                f"{len(self.level_thresholds)} thresholds for {self.ndim} dims"
+            )
+        for tau in self.level_thresholds:
+            if tau < 1:
+                raise ConfigurationError(
+                    f"thresholds must be >= 1, got {self.level_thresholds}"
+                )
+        if any(
+            a < b
+            for a, b in zip(self.level_thresholds, self.level_thresholds[1:])
+        ):
+            raise ConfigurationError(
+                "thresholds must be non-increasing from top to bottom, got "
+                f"{self.level_thresholds}"
+            )
+
+    @classmethod
+    def for_dataset(cls, n: int, ndim: int = 3, tau: int = PAPER_TAU) -> QuasiiConfig:
+        """Derive the ladder from dataset size per the paper's Equation 1."""
+        if n < 1:
+            raise ConfigurationError(f"need a positive object count, got {n}")
+        if tau < 1:
+            raise ConfigurationError(f"need tau >= 1, got {tau}")
+        if ndim < 1:
+            raise ConfigurationError(f"need ndim >= 1, got {ndim}")
+        partitions = max(1, math.ceil(n / tau))
+        fanout = max(1, math.ceil(partitions ** (1.0 / ndim)))
+        thresholds = [tau]
+        for _ in range(ndim - 1):
+            thresholds.append(thresholds[-1] * fanout)
+        thresholds.reverse()
+        return cls(ndim=ndim, level_thresholds=tuple(thresholds), fanout=fanout)
+
+    def threshold(self, level: int) -> int:
+        """τ for a zero-based level (0 = top/x ... d-1 = bottom)."""
+        if not 0 <= level < self.ndim:
+            raise ConfigurationError(
+                f"level {level} out of range for {self.ndim} dims"
+            )
+        return self.level_thresholds[level]
+
+    @property
+    def leaf_threshold(self) -> int:
+        """The bottom-level capacity τ (the paper's single parameter)."""
+        return self.level_thresholds[-1]

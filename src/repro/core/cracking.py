@@ -1,0 +1,167 @@
+"""Cracking kernels: partial, in-place partitioning of the data array.
+
+Database cracking (Idreos et al.) reorganizes an array around query
+boundaries instead of fully sorting it.  QUASII lifts the idea to the
+spatial domain: each kernel here partitions a *row range* of a
+:class:`~repro.datasets.store.BoxStore` on one dimension's **lower
+coordinate** (the object's slice-assignment representative, Section 5.1).
+SFCracker reuses the value-level helper on its Morton-code array.
+
+Conventions
+-----------
+* A crack at bound ``b`` puts keys ``< b`` left and keys ``>= b`` right.
+* Multi-bound cracks use strictly increasing bounds; bucket ``i`` holds
+  keys with ``bounds[i-1] <= key < bounds[i]``.
+* Partitioning is stable (equal-bucket rows keep their relative order),
+  which keeps repeated cracks deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.errors import ConfigurationError
+
+
+def partition_order(
+    keys: np.ndarray, bounds: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable bucket order for ``keys`` against strictly increasing bounds.
+
+    Returns
+    -------
+    order:
+        Permutation such that ``keys[order]`` is bucket-sorted.
+    sizes:
+        Length ``len(bounds) + 1`` bucket sizes.
+    """
+    bounds_arr = np.asarray(bounds, dtype=np.float64)
+    if bounds_arr.ndim != 1 or bounds_arr.size == 0:
+        raise ConfigurationError("need at least one crack bound")
+    if np.any(np.diff(bounds_arr) <= 0):
+        raise ConfigurationError(f"crack bounds must be strictly increasing: {bounds}")
+    n_buckets = bounds_arr.size + 1
+    if n_buckets <= 4:
+        # A real crack is a linear pass; emulate with one boolean pass per
+        # bucket (stable, O(n * buckets)) instead of an O(n log n) argsort.
+        if n_buckets == 2:
+            mask = keys < bounds_arr[0]
+            order = np.concatenate([np.flatnonzero(mask), np.flatnonzero(~mask)])
+            left = int(mask.sum())
+            sizes = np.array([left, keys.size - left])
+            return order, sizes
+        buckets = np.searchsorted(bounds_arr, keys, side="right")
+        order = np.concatenate(
+            [np.flatnonzero(buckets == b) for b in range(n_buckets)]
+        )
+        sizes = np.bincount(buckets, minlength=n_buckets)
+        return order, sizes
+    # Bucket of key k = number of bounds <= k (so 'key < b' goes left of b).
+    buckets = np.searchsorted(bounds_arr, keys, side="right")
+    order = np.argsort(buckets, kind="stable")
+    sizes = np.bincount(buckets, minlength=n_buckets)
+    return order, sizes
+
+
+#: Valid slice-assignment representatives (paper Section 5.1, footnote 1:
+#: "The upper coordinate or the object's center can equally be used").
+REPRESENTATIVES = ("lower", "center", "upper")
+
+
+def representative_keys(
+    store: BoxStore, begin: int, end: int, dim: int, representative: str
+) -> np.ndarray:
+    """The per-object slice-assignment key on ``dim`` for a row range."""
+    if representative == "lower":
+        return store.lo[begin:end, dim]
+    if representative == "upper":
+        return store.hi[begin:end, dim]
+    if representative == "center":
+        return (store.lo[begin:end, dim] + store.hi[begin:end, dim]) * 0.5
+    raise ConfigurationError(
+        f"unknown representative {representative!r}; expected one of "
+        f"{REPRESENTATIVES}"
+    )
+
+
+def crack(
+    store: BoxStore,
+    begin: int,
+    end: int,
+    dim: int,
+    bounds: Sequence[float],
+    representative: str = "lower",
+) -> list[int]:
+    """Crack store rows ``[begin, end)`` on ``dim``'s representative key.
+
+    Physically reorders the rows into ``len(bounds) + 1`` contiguous
+    buckets and returns the absolute split positions (``len(bounds)``
+    values); bucket ``i`` occupies ``[splits[i-1], splits[i])`` with the
+    outer sentinels ``begin`` and ``end``.
+
+    A one-bound call is relational cracking's classic two-way crack; the
+    three-way slicing of Algorithm 2 is a two-bound call.  The default
+    key is the lower coordinate (the paper's choice).
+    """
+    keys = representative_keys(store, begin, end, dim, representative)
+    order, sizes = partition_order(keys, bounds)
+    store.apply_order_range(begin, end, order)
+    return [begin + int(c) for c in np.cumsum(sizes)[:-1]]
+
+
+def crack_values(
+    values: np.ndarray,
+    payload: np.ndarray,
+    begin: int,
+    end: int,
+    bound: float,
+) -> int:
+    """Two-way crack of a 1-d key array and its parallel payload, in place.
+
+    Used by SFCracker on the Morton-code array (``values``) with the object
+    row permutation as ``payload``.  Returns the absolute split position:
+    ``values[begin:split] < bound <= values[split:end]``.
+    """
+    keys = values[begin:end]
+    mask = keys < bound
+    order = np.concatenate([np.flatnonzero(mask), np.flatnonzero(~mask)])
+    values[begin:end] = keys[order]
+    payload[begin:end] = payload[begin:end][order]
+    return begin + int(mask.sum())
+
+
+def range_dim_stats(
+    store: BoxStore,
+    begin: int,
+    end: int,
+    dim: int,
+    representative: str = "lower",
+) -> tuple[float, float, float, float]:
+    """``(key min, key max, dim MBB lower, dim MBB upper)`` of a row range.
+
+    One O(range) pass supplying everything slice bookkeeping needs: the
+    representative-key range for slicing-type decisions and midpoints,
+    plus the dimension's MBB bounds (the paper's open-ended slice box
+    records ``[min lower, max upper]`` on the sliced dimension, which is
+    representative-independent).
+    """
+    lo = store.lo[begin:end, dim]
+    hi = store.hi[begin:end, dim]
+    dim_lo = float(lo.min())
+    dim_hi = float(hi.max())
+    if representative == "lower":
+        kmin, kmax = dim_lo, float(lo.max())
+    elif representative == "upper":
+        kmin, kmax = float(hi.min()), dim_hi
+    elif representative == "center":
+        centers = (lo + hi) * 0.5
+        kmin, kmax = float(centers.min()), float(centers.max())
+    else:
+        raise ConfigurationError(
+            f"unknown representative {representative!r}; expected one of "
+            f"{REPRESENTATIVES}"
+        )
+    return kmin, kmax, dim_lo, dim_hi

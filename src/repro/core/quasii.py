@@ -1,0 +1,491 @@
+"""QUASII: the QUery-Aware Spatial Incremental Index (Sections 4 and 5).
+
+The index is built *as a side effect of query execution*.  Each query:
+
+1. walks the d-level slice hierarchy depth-first (Algorithm 1), binary
+   searching each sibling list for the first candidate slice;
+2. *refines* every candidate slice that still exceeds its level threshold
+   (Algorithm 2) by cracking the data array on the query's boundaries —
+   three-way, two-way, or artificial (midpoint) slicing — with the query
+   **extended by the maximum object extent** on the lower side so that
+   representing objects by their lower coordinate never loses results;
+3. scans fully refined bottom-level slices against the raw window and
+   collects intersecting objects.
+
+The hierarchy converges toward an STR-like tiling of exactly the regions
+queries touch; untouched regions stay coarse (a single unsorted run of the
+data array).
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.core.config import PAPER_TAU, QuasiiConfig
+from repro.core.cracking import (
+    REPRESENTATIVES,
+    crack,
+    range_dim_stats,
+    representative_keys,
+)
+from repro.core.slices import Slice, SliceList
+from repro.datasets.store import BoxStore
+from repro.errors import ConfigurationError
+from repro.index.base import SpatialIndex
+from repro.queries.range_query import RangeQuery
+
+_INF = float("inf")
+
+
+class QuasiiIndex(SpatialIndex):
+    """The paper's core contribution, over a shared :class:`BoxStore`.
+
+    Parameters
+    ----------
+    store:
+        The data array; **physically reordered** by queries.
+    config:
+        Explicit threshold ladder; defaults to the paper's Equation-1
+        ladder for the store with bottom threshold ``tau``.
+    tau:
+        Bottom-level slice capacity, used only when ``config`` is omitted
+        (the paper's single parameter; default 60).
+    representative:
+        Which point represents an object during slice assignment:
+        ``"lower"`` (the paper's choice — free, it is part of the MBB),
+        ``"center"``, or ``"upper"`` (footnote 1 notes these "can equally
+        be used"; the ablation bench compares them).  Query extension
+        adapts automatically: the window grows by the maximum object
+        extent on whichever side(s) the representative can under-report.
+    artificial_split:
+        How artificial refinement picks its cut: ``"midpoint"`` (the
+        paper's ``c = (xl + xu) / 2`` — space-balanced, no extra pass) or
+        ``"median"`` (data-balanced like STR's equal-count tiles, at the
+        price of a selection pass).  The ``ablation-split`` bench compares
+        them.
+
+    Examples
+    --------
+    >>> from repro.datasets import make_uniform
+    >>> from repro.queries import uniform_workload
+    >>> ds = make_uniform(10_000, seed=7)
+    >>> index = QuasiiIndex(ds.store)
+    >>> queries = uniform_workload(ds.universe, n_queries=5, seed=7)
+    >>> results = [index.query(q) for q in queries]   # index builds itself
+    """
+
+    name = "QUASII"
+
+    #: Supported artificial-refinement cut strategies.
+    ARTIFICIAL_SPLITS = ("midpoint", "median")
+
+    def __init__(
+        self,
+        store: BoxStore,
+        config: QuasiiConfig | None = None,
+        tau: int = PAPER_TAU,
+        representative: str = "lower",
+        artificial_split: str = "midpoint",
+    ) -> None:
+        super().__init__(store)
+        if config is None:
+            config = QuasiiConfig.for_dataset(store.n, store.ndim, tau)
+        if config.ndim != store.ndim:
+            raise ValueError(
+                f"config is for {config.ndim} dims, store has {store.ndim}"
+            )
+        if representative not in REPRESENTATIVES:
+            raise ConfigurationError(
+                f"unknown representative {representative!r}; expected one "
+                f"of {REPRESENTATIVES}"
+            )
+        if artificial_split not in self.ARTIFICIAL_SPLITS:
+            raise ConfigurationError(
+                f"unknown artificial_split {artificial_split!r}; expected "
+                f"one of {self.ARTIFICIAL_SPLITS}"
+            )
+        self._config = config
+        self._representative = representative
+        self._artificial_split = artificial_split
+        # Query extension margin: fixed per-dimension maximum object extent
+        # (Stefanakis et al.); measured once, the dataset is static.
+        self._max_extent = store.max_extent.copy()
+        self._top = SliceList(0, [self._make_slice(0, 0, store.n, -_INF)])
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> QuasiiConfig:
+        """The resolved threshold ladder."""
+        return self._config
+
+    @property
+    def representative(self) -> str:
+        """The slice-assignment representative in use."""
+        return self._representative
+
+    def _extended_bounds(self, query: RangeQuery, dim: int) -> tuple[float, float]:
+        """Query range on ``dim`` extended for the chosen representative.
+
+        An object intersecting the window can have its representative key
+        outside the window by at most the maximum object extent (lower
+        representative: only below; upper: only above; center: half on
+        each side) — the query-extension technique of Section 5.2.
+        """
+        lo = float(query.lo[dim])
+        hi = float(query.hi[dim])
+        ext = float(self._max_extent[dim])
+        if self._representative == "lower":
+            return lo - ext, hi
+        if self._representative == "upper":
+            return lo, hi + ext
+        return lo - ext / 2.0, hi + ext / 2.0
+
+    def build(self) -> None:
+        """No-op: QUASII has no pre-processing step (that is the point)."""
+        self._built = True
+
+    def _query(self, query: RangeQuery) -> np.ndarray:
+        out: list[np.ndarray] = []
+        self._query_level(self._top, query, out)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: query processing
+    # ------------------------------------------------------------------
+    def _query_level(
+        self, slices: SliceList, query: RangeQuery, out: list[np.ndarray]
+    ) -> None:
+        dim = slices.level
+        extended_lo, extended_hi = self._extended_bounds(query, dim)
+        i = slices.find_start(extended_lo)
+        while i < len(slices):
+            node = slices[i]
+            if node.cut_lo > extended_hi:
+                break
+            self.stats.nodes_visited += 1
+            if not node.intersects(query.lo, query.hi):
+                i += 1
+                continue
+            refined = self._refine(node, query)
+            if refined is not None:
+                slices.replace(i, refined)
+                # Re-enter the loop at the same position: the sub-slices are
+                # individually below threshold (or non-overlapping) so each
+                # is handled in a single further iteration.
+                continue
+            if node.level == self._config.ndim - 1:
+                self._scan_leaf(node, query, out)
+            else:
+                if node.children is None:
+                    node.children = self._default_child(node)
+                self._query_level(node.children, query, out)
+            i += 1
+
+    def _scan_leaf(
+        self, node: Slice, query: RangeQuery, out: list[np.ndarray]
+    ) -> None:
+        """Bottom level: test every slice member against the raw window."""
+        self.stats.objects_tested += node.size
+        hits = self._store.scan_range(node.begin, node.end, query.lo, query.hi)
+        if hits.size:
+            out.append(hits)
+
+    def _default_child(self, node: Slice) -> SliceList:
+        """Lazy default child (Algorithm 1, Line 15): same rows, next level."""
+        child = Slice(
+            node.level + 1,
+            node.begin,
+            node.end,
+            -_INF,
+            node.mbb_lo.copy(),
+            node.mbb_hi.copy(),
+        )
+        self._maybe_finalize(child)
+        return SliceList(node.level + 1, [child])
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: refinement
+    # ------------------------------------------------------------------
+    def _refine(self, node: Slice, query: RangeQuery) -> list[Slice] | None:
+        """Refine ``node`` against ``query``; None means "already refined".
+
+        Returns the replacement sibling run (>= 1 slices, query-overlapping
+        ones guaranteed at/below threshold) after physically cracking the
+        store, or ``None`` when no reorganization is possible/needed.
+        """
+        tau = self._config.threshold(node.level)
+        if node.final or node.size <= tau:
+            return None
+        dim = node.level
+        kmin, kmax, dim_lo, dim_hi = range_dim_stats(
+            self._store, node.begin, node.end, dim, self._representative
+        )
+        # Tighten the recorded open-ended bounds while we have them.
+        node.mbb_lo[dim] = dim_lo
+        node.mbb_hi[dim] = dim_hi
+        if kmin == kmax:
+            # Every representative key identical: this dimension cannot
+            # discriminate.  Treat as refined; deeper levels take over.
+            return None
+
+        extended_lo, extended_hi = self._extended_bounds(query, dim)
+        # Upper crack bound is exclusive ("keys < b"), so nudge one ulp up
+        # to keep keys == the extended upper bound inside the middle slice.
+        upper = float(np.nextafter(extended_hi, _INF))
+        bounds = [b for b in (extended_lo, upper) if kmin < b <= kmax]
+        # Deduplicate the degenerate case extended_lo == upper.
+        if len(bounds) == 2 and bounds[0] == bounds[1]:
+            bounds = bounds[:1]
+
+        if bounds:
+            # Three-way (both bounds interior) or two-way slicing.
+            splits = crack(
+                self._store,
+                node.begin,
+                node.end,
+                dim,
+                bounds,
+                self._representative,
+            )
+            self.stats.cracks += 1
+            self.stats.rows_reorganized += node.size
+            edges = [node.begin, *splits, node.end]
+            cut_los = [node.cut_lo, *bounds]
+        else:
+            # Query covers the slice's key range: artificial slicing only.
+            edges = [node.begin, node.end]
+            cut_los = [node.cut_lo]
+
+        produced: list[Slice] = []
+        for piece_idx in range(len(edges) - 1):
+            self._emit_refined(
+                node,
+                edges[piece_idx],
+                edges[piece_idx + 1],
+                cut_los[piece_idx],
+                query,
+                tau,
+                produced,
+            )
+        return produced
+
+    def _emit_refined(
+        self,
+        parent: Slice,
+        begin: int,
+        end: int,
+        cut_lo: float,
+        query: RangeQuery,
+        tau: int,
+        out: list[Slice],
+    ) -> None:
+        """Recursive artificial refinement (Algorithm 2, Lines 8–13).
+
+        Emits the piece as-is when it meets the threshold, lies outside the
+        query on this dimension, or cannot be split by value; otherwise
+        two-way cracks it at the key-range midpoint and recurses, appending
+        results left-to-right so the sibling run stays sorted.
+        """
+        if begin == end:
+            return  # drop empty slices (paper's s23)
+        dim = parent.level
+        size = end - begin
+        kmin, kmax, dim_lo, dim_hi = range_dim_stats(
+            self._store, begin, end, dim, self._representative
+        )
+        # Overlap against the *recorded extents*, which cover the objects
+        # regardless of the representative in use.
+        overlaps = dim_hi >= query.lo[dim] and dim_lo <= query.hi[dim]
+        if size <= tau or not overlaps or kmin == kmax:
+            out.append(
+                self._make_child_slice(parent, begin, end, cut_lo, dim_lo, dim_hi)
+            )
+            return
+        if self._artificial_split == "median":
+            keys = representative_keys(
+                self._store, begin, end, dim, self._representative
+            )
+            mid = float(np.median(keys))
+            # The median can coincide with kmin when keys are skewed;
+            # cracking needs a cut with a non-empty left side.
+            if mid <= kmin:
+                mid = float(np.nextafter(kmin, kmax))
+        else:
+            mid = (kmin + kmax) / 2.0
+            if mid <= kmin:
+                mid = float(np.nextafter(kmin, kmax))
+        splits = crack(self._store, begin, end, dim, [mid], self._representative)
+        self.stats.cracks += 1
+        self.stats.rows_reorganized += size
+        self._emit_refined(parent, begin, splits[0], cut_lo, query, tau, out)
+        self._emit_refined(parent, splits[0], end, mid, query, tau, out)
+
+    # ------------------------------------------------------------------
+    # Slice construction
+    # ------------------------------------------------------------------
+    def _make_slice(self, level: int, begin: int, end: int, cut_lo: float) -> Slice:
+        """A root-level slice with fully open MBB."""
+        ndim = self._store.ndim
+        node = Slice(
+            level,
+            begin,
+            end,
+            cut_lo,
+            np.full(ndim, -_INF),
+            np.full(ndim, _INF),
+        )
+        self._maybe_finalize(node)
+        return node
+
+    def _make_child_slice(
+        self,
+        parent: Slice,
+        begin: int,
+        end: int,
+        cut_lo: float,
+        dim_lo: float,
+        dim_hi: float,
+    ) -> Slice:
+        """A refinement product: inherits the parent's recorded bounds on
+        other dimensions, records exact bounds on the sliced dimension."""
+        mbb_lo = parent.mbb_lo.copy()
+        mbb_hi = parent.mbb_hi.copy()
+        dim = parent.level
+        mbb_lo[dim] = dim_lo
+        mbb_hi[dim] = dim_hi
+        node = Slice(parent.level, begin, end, cut_lo, mbb_lo, mbb_hi)
+        self._maybe_finalize(node)
+        return node
+
+    def _maybe_finalize(self, node: Slice) -> None:
+        """Mark slices meeting their threshold final with an exact MBB.
+
+        The paper computes the full MBB "only when a slice is completely
+        refined" — this is that moment.
+        """
+        if node.size <= self._config.threshold(node.level):
+            node.finalize_mbb(self._store)
+            node.final = True
+
+    # ------------------------------------------------------------------
+    # Introspection & verification
+    # ------------------------------------------------------------------
+    def format_structure(self, max_slices_per_level: int = 12) -> str:
+        """ASCII rendering of the slice hierarchy (Figure 4's bottom rows).
+
+        Each line shows one slice: level indentation, data-array range,
+        cut bound, object count, and refinement state.  Long sibling runs
+        are elided after ``max_slices_per_level`` entries.
+        """
+        dims = "xyzwvu"
+        lines: list[str] = []
+
+        def fmt_cut(value: float) -> str:
+            return "-inf" if value == -_INF else f"{value:g}"
+
+        def walk(lst: SliceList, depth: int) -> None:
+            shown = 0
+            for s in lst:
+                if shown == max_slices_per_level:
+                    lines.append("  " * depth + f"... {len(lst) - shown} more")
+                    break
+                shown += 1
+                dim = dims[s.level] if s.level < len(dims) else str(s.level)
+                state = "final" if s.final else "coarse"
+                lines.append(
+                    "  " * depth
+                    + f"{dim}-slice rows[{s.begin}:{s.end}) "
+                    + f"cut>={fmt_cut(s.cut_lo)} |{s.size}| {state}"
+                )
+                if s.children is not None:
+                    walk(s.children, depth + 1)
+
+        walk(self._top, 0)
+        return "\n".join(lines)
+
+    def slice_counts(self) -> list[int]:
+        """Number of materialized slices per level (index growth measure)."""
+        counts = [0] * self._config.ndim
+        stack: list[SliceList] = [self._top]
+        while stack:
+            lst = stack.pop()
+            counts[lst.level] += len(lst)
+            for s in lst:
+                if s.children is not None:
+                    stack.append(s.children)
+        return counts
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the slice hierarchy."""
+        total = 0
+        stack: list[SliceList] = [self._top]
+        while stack:
+            lst = stack.pop()
+            total += lst.memory_bytes()
+            for s in lst:
+                if s.children is not None:
+                    stack.append(s.children)
+        return total
+
+    def validate_structure(self) -> None:
+        """Assert every structural invariant; raises AssertionError on breakage.
+
+        Used by the test suite (and available for debugging) to check:
+        sibling ranges tile the parent contiguously in order; cut bounds
+        strictly increase and bracket the member keys; recorded MBBs cover
+        members (exactly for final slices); thresholds hold for final
+        slices; levels are consistent.
+        """
+        d = self._config.ndim
+        store = self._store
+
+        def check_list(lst: SliceList, begin: int, end: int) -> None:
+            assert lst.level < d, f"level {lst.level} out of range"
+            assert len(lst) > 0, "empty sibling list"
+            cursor = begin
+            prev_cut = None
+            for s in lst:
+                assert s.level == lst.level, "slice/list level mismatch"
+                assert s.begin == cursor, (
+                    f"non-contiguous siblings: expected begin {cursor}, "
+                    f"got {s.begin}"
+                )
+                assert s.begin < s.end, "empty slice materialized"
+                cursor = s.end
+                if prev_cut is not None:
+                    assert s.cut_lo > prev_cut, "cut bounds not increasing"
+                prev_cut = s.cut_lo
+                keys = representative_keys(
+                    store, s.begin, s.end, lst.level, self._representative
+                )
+                assert np.all(keys >= s.cut_lo), "key below slice cut bound"
+                sub_lo = store.lo[s.begin : s.end]
+                sub_hi = store.hi[s.begin : s.end]
+                assert np.all(sub_lo >= s.mbb_lo - 1e-9) and np.all(
+                    sub_hi <= s.mbb_hi + 1e-9
+                ), "recorded MBB does not cover slice members"
+                if s.final:
+                    assert s.size <= self._config.threshold(s.level), (
+                        f"final slice of {s.size} objects exceeds "
+                        f"threshold {self._config.threshold(s.level)}"
+                    )
+                    assert np.all(np.isfinite(s.mbb_lo)) and np.all(
+                        np.isfinite(s.mbb_hi)
+                    ), "final slice MBB not fully computed"
+                if s.children is not None:
+                    assert s.children.level == s.level + 1, "child level skew"
+                    check_list(s.children, s.begin, s.end)
+            assert cursor == end, "siblings do not cover parent range"
+            # Keys must stay below the next sibling's cut bound.
+            for left, right in zip(lst.slices, lst.slices[1:]):
+                keys = representative_keys(
+                    store, left.begin, left.end, lst.level, self._representative
+                )
+                assert np.all(keys < right.cut_lo), "key spills past cut bound"
+
+        check_list(self._top, 0, store.n)

@@ -1,0 +1,150 @@
+"""QUASII's hierarchical slice structure (Section 5.1).
+
+A *slice* is one node of the d-level hierarchy: a contiguous range of the
+data array, tagged with the level (= dimension) it was produced at, a
+minimum bounding box, and optional children refining it on the next
+dimension.  Mirroring the paper:
+
+* objects are assigned to slices by their **lower coordinate** on the
+  level's dimension, so sibling slices partition their parent's rows into
+  contiguous, lower-coordinate-ordered buckets;
+* a slice's recorded MBB reflects the objects' **actual extents** — it is
+  *open-ended* (±inf on dimensions not yet sliced) until the slice becomes
+  fully refined at its level, at which point the exact full MBB is
+  computed once;
+* siblings are kept sorted so querying can binary-search the start slice.
+
+The sort key here is ``cut_lo`` — the lower bound of the slice's cracking
+interval.  Sibling cut intervals tile the parent's key space, giving the
+strict ordering invariant binary search needs even though recorded MBBs may
+overlap (the paper handles the same overlap by extending the binary-search
+range by the maximum slice extent).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+
+
+class Slice:
+    """One node of QUASII's hierarchy: a level-tagged range of the data array.
+
+    Attributes
+    ----------
+    level:
+        Zero-based level/dimension (0 = x ... d-1 = bottom).
+    begin, end:
+        Physical row range ``[begin, end)`` in the store.
+    cut_lo:
+        Lower bound of this slice's cracking interval on its dimension;
+        ``-inf`` for the first sibling.  All object lower coordinates in
+        the slice are ``>= cut_lo`` and ``<`` the next sibling's ``cut_lo``.
+    mbb_lo, mbb_hi:
+        Recorded bounding box; ``±inf`` on dimensions with no information
+        yet (the paper's open-ended MBB).
+    final:
+        True once the slice satisfies its level's threshold; its MBB is
+        then exact on every dimension.
+    children:
+        Next-level :class:`SliceList`, or ``None`` until first descended
+        into (Algorithm 1 creates a *default child* lazily).
+    """
+
+    __slots__ = ("level", "begin", "end", "cut_lo", "mbb_lo", "mbb_hi", "final", "children")
+
+    def __init__(
+        self,
+        level: int,
+        begin: int,
+        end: int,
+        cut_lo: float,
+        mbb_lo: np.ndarray,
+        mbb_hi: np.ndarray,
+        final: bool = False,
+    ) -> None:
+        self.level = level
+        self.begin = begin
+        self.end = end
+        self.cut_lo = cut_lo
+        self.mbb_lo = mbb_lo
+        self.mbb_hi = mbb_hi
+        self.final = final
+        self.children: SliceList | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of objects currently assigned to the slice."""
+        return self.end - self.begin
+
+    def intersects(self, window_lo: np.ndarray, window_hi: np.ndarray) -> bool:
+        """Recorded-MBB vs (raw) query test — Algorithm 1, Line 5.
+
+        ±inf bounds make unknown dimensions pass automatically, so the test
+        is conservative (never prunes a slice that could hold a result).
+        """
+        return bool(
+            np.all(self.mbb_lo <= window_hi) and np.all(window_lo <= self.mbb_hi)
+        )
+
+    def finalize_mbb(self, store: BoxStore) -> None:
+        """Compute the exact full MBB (done once, when fully refined)."""
+        if self.size > 0:
+            self.mbb_lo = store.lo[self.begin : self.end].min(axis=0)
+            self.mbb_hi = store.hi[self.begin : self.end].max(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Slice(l={self.level}, rows=[{self.begin}:{self.end}), "
+            f"cut_lo={self.cut_lo}, final={self.final})"
+        )
+
+
+class SliceList:
+    """A sorted sibling list with the parallel cut-bound array for bisect.
+
+    Corresponds to one ``S`` of Algorithm 1: all same-level slices under a
+    common parent, sorted by data-array position (equivalently by
+    ``cut_lo``).  ``replace`` splices refined sub-slices in place of their
+    parent slice, preserving order — the paper's Lines 17–20.
+    """
+
+    __slots__ = ("level", "slices", "_cut_los")
+
+    def __init__(self, level: int, slices: Sequence[Slice] = ()) -> None:
+        self.level = level
+        self.slices: list[Slice] = list(slices)
+        self._cut_los: list[float] = [s.cut_lo for s in self.slices]
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    def __iter__(self) -> Iterator[Slice]:
+        return iter(self.slices)
+
+    def __getitem__(self, i: int) -> Slice:
+        return self.slices[i]
+
+    def find_start(self, value: float) -> int:
+        """Index of the first slice that can hold keys ``>= value``.
+
+        Returns the last slice whose ``cut_lo <= value`` (every earlier
+        sibling only holds keys strictly below that slice's ``cut_lo``),
+        clamped to the first slice.  This is Algorithm 1's binary search
+        with the query already extended by the caller.
+        """
+        return max(0, bisect_right(self._cut_los, value) - 1)
+
+    def replace(self, index: int, new_slices: Sequence[Slice]) -> None:
+        """Splice ``new_slices`` in place of ``slices[index]``, kept sorted."""
+        self.slices[index : index + 1] = new_slices
+        self._cut_los[index : index + 1] = [s.cut_lo for s in new_slices]
+
+    def memory_bytes(self) -> int:
+        """Rough structure footprint (slices + cut array), excluding children."""
+        per_slice = 120 + 2 * 8 * (len(self.slices[0].mbb_lo) if self.slices else 0)
+        return len(self.slices) * per_slice + 8 * len(self._cut_los)

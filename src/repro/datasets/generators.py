@@ -1,0 +1,262 @@
+"""Synthetic dataset generators mirroring the paper's evaluation data.
+
+The paper evaluates on two families of data (Section 6.1):
+
+* **Synthetic/uniform** — boxes uniformly placed in a ``10,000``-unit cube;
+  99% of objects have side lengths drawn uniformly from ``[1, 10]`` and 1%
+  from ``[10, 1000]``.  :func:`make_uniform` reproduces this exactly
+  (scaled object counts).
+* **Neuroscience** — 450M MBBs enclosing small cylinders of a rat-brain
+  microcircuit: heavily *clustered* (dense cores, sparse fringes) small
+  elongated objects.  The model is proprietary, so :func:`make_neuro_like`
+  builds the closest synthetic surrogate: a heavy-tailed Gaussian mixture
+  of thin boxes plus a sparse uniform background.  The figures that use
+  this dataset depend on its *skew* (grid configuration sensitivity,
+  clustered-query convergence), which the surrogate reproduces; see
+  DESIGN.md §4 for the substitution rationale.
+
+All generators take an explicit ``seed`` and return a :class:`Dataset`
+bundling the :class:`~repro.datasets.store.BoxStore` with the universe box
+queries should be drawn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.errors import ConfigurationError
+from repro.geometry.box import Box
+
+#: Universe side length used throughout the paper's synthetic setup.
+PAPER_UNIVERSE_SIDE = 10_000.0
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated dataset: the object store plus its sampling universe.
+
+    Attributes
+    ----------
+    store:
+        The data array of object MBBs.
+    universe:
+        The box from which the objects (and therefore queries) are drawn.
+        Indexes that partition *space* (grid, Mosaic) partition this box.
+    name:
+        Human-readable generator tag, used in benchmark reports.
+    seed:
+        The RNG seed the dataset was generated with, for provenance.
+    """
+
+    store: BoxStore
+    universe: Box
+    name: str
+    seed: int
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return self.store.n
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality."""
+        return self.store.ndim
+
+
+def _check_common(n: int, ndim: int, universe_side: float) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"need a positive object count, got {n}")
+    if ndim < 1:
+        raise ConfigurationError(f"need ndim >= 1, got {ndim}")
+    if universe_side <= 0:
+        raise ConfigurationError(
+            f"universe side must be positive, got {universe_side}"
+        )
+
+
+def _clip_to_universe(
+    lo: np.ndarray, hi: np.ndarray, side: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clamp boxes into ``[0, side]^d`` preserving lo <= hi."""
+    lo = np.clip(lo, 0.0, side)
+    hi = np.clip(hi, 0.0, side)
+    hi = np.maximum(hi, lo)
+    return lo, hi
+
+
+def make_uniform(
+    n: int,
+    ndim: int = 3,
+    universe_side: float = PAPER_UNIVERSE_SIDE,
+    small_side: tuple[float, float] = (1.0, 10.0),
+    large_side: tuple[float, float] = (10.0, 1000.0),
+    large_fraction: float = 0.01,
+    seed: int = 0,
+) -> Dataset:
+    """The paper's synthetic dataset (Section 6.1), scaled to ``n`` objects.
+
+    Box centers are uniform in the universe; 99% of boxes draw each side
+    from ``small_side`` and the remaining ``large_fraction`` from
+    ``large_side`` (independently per dimension, as the paper's "length of
+    each side" wording implies).
+    """
+    _check_common(n, ndim, universe_side)
+    if not 0.0 <= large_fraction <= 1.0:
+        raise ConfigurationError(
+            f"large_fraction must be within [0, 1], got {large_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, universe_side, size=(n, ndim))
+    sides = rng.uniform(small_side[0], small_side[1], size=(n, ndim))
+    n_large = int(round(n * large_fraction))
+    if n_large:
+        large_rows = rng.choice(n, size=n_large, replace=False)
+        sides[large_rows] = rng.uniform(
+            large_side[0], large_side[1], size=(n_large, ndim)
+        )
+    lo = centers - sides / 2.0
+    hi = centers + sides / 2.0
+    lo, hi = _clip_to_universe(lo, hi, universe_side)
+    universe = Box((0.0,) * ndim, (universe_side,) * ndim)
+    return Dataset(BoxStore(lo, hi), universe, f"uniform-{n}", seed)
+
+
+def make_neuro_like(
+    n: int,
+    ndim: int = 3,
+    universe_side: float = PAPER_UNIVERSE_SIDE,
+    n_clusters: int = 40,
+    background_fraction: float = 0.05,
+    cluster_std_range: tuple[float, float] = (100.0, 600.0),
+    segment_length: tuple[float, float] = (2.0, 30.0),
+    segment_thickness: tuple[float, float] = (0.5, 4.0),
+    long_fraction: float = 0.0,
+    long_length: tuple[float, float] = (100.0, 400.0),
+    seed: int = 0,
+) -> Dataset:
+    """Skewed surrogate for the paper's rat-brain neuroscience dataset.
+
+    Structure: ``n_clusters`` Gaussian clusters with heavy-tailed
+    (Zipf-like) population sizes and varying spreads — mimicking dense
+    neural bundles — plus a thin uniform background.  Each object is a
+    small *elongated* box (a cylinder's MBB): one random axis gets a side
+    from ``segment_length``, the rest from ``segment_thickness``.
+    Optionally, a ``long_fraction`` of objects draw their long axis from
+    ``long_length`` instead — the rare long axon segments that make the
+    *maximum* object extent (and hence the query-extension penalty) far
+    exceed the typical extent.
+
+    The properties the paper's figures rely on are reproduced: pronounced
+    density skew (Figure 6b's configuration shift), small typical object
+    extent, and a heavy extent tail (Figure 6a's assignment penalties).
+    """
+    _check_common(n, ndim, universe_side)
+    if n_clusters < 1:
+        raise ConfigurationError(f"need at least one cluster, got {n_clusters}")
+    if not 0.0 <= background_fraction < 1.0:
+        raise ConfigurationError(
+            f"background_fraction must be within [0, 1), got {background_fraction}"
+        )
+    if not 0.0 <= long_fraction <= 1.0:
+        raise ConfigurationError(
+            f"long_fraction must be within [0, 1], got {long_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+
+    n_background = int(round(n * background_fraction))
+    n_clustered = n - n_background
+
+    # Heavy-tailed cluster populations: weight_k ∝ 1 / (k+1).
+    weights = 1.0 / np.arange(1, n_clusters + 1, dtype=np.float64)
+    weights /= weights.sum()
+    assignments = rng.choice(n_clusters, size=n_clustered, p=weights)
+
+    cluster_centers = rng.uniform(
+        0.1 * universe_side, 0.9 * universe_side, size=(n_clusters, ndim)
+    )
+    cluster_stds = rng.uniform(
+        cluster_std_range[0], cluster_std_range[1], size=n_clusters
+    )
+    centers = cluster_centers[assignments] + rng.normal(
+        0.0, 1.0, size=(n_clustered, ndim)
+    ) * cluster_stds[assignments, None]
+
+    if n_background:
+        background = rng.uniform(0.0, universe_side, size=(n_background, ndim))
+        centers = np.vstack([centers, background])
+
+    # Elongated boxes: pick the long axis per object.
+    sides = rng.uniform(
+        segment_thickness[0], segment_thickness[1], size=(n, ndim)
+    )
+    long_axis = rng.integers(0, ndim, size=n)
+    sides[np.arange(n), long_axis] = rng.uniform(
+        segment_length[0], segment_length[1], size=n
+    )
+    n_long = int(round(n * long_fraction))
+    if n_long:
+        long_rows = rng.choice(n, size=n_long, replace=False)
+        sides[long_rows, long_axis[long_rows]] = rng.uniform(
+            long_length[0], long_length[1], size=n_long
+        )
+
+    lo = centers - sides / 2.0
+    hi = centers + sides / 2.0
+    lo, hi = _clip_to_universe(lo, hi, universe_side)
+    universe = Box((0.0,) * ndim, (universe_side,) * ndim)
+    return Dataset(BoxStore(lo, hi), universe, f"neuro-{n}", seed)
+
+
+def make_gaussian_mixture(
+    n: int,
+    ndim: int = 3,
+    universe_side: float = PAPER_UNIVERSE_SIDE,
+    n_clusters: int = 5,
+    cluster_std: float = 300.0,
+    side_range: tuple[float, float] = (1.0, 10.0),
+    seed: int = 0,
+) -> Dataset:
+    """A simple equal-weight Gaussian mixture of small boxes.
+
+    Useful for controlled skew experiments and tests; lighter-weight than
+    :func:`make_neuro_like`.
+    """
+    _check_common(n, ndim, universe_side)
+    if n_clusters < 1:
+        raise ConfigurationError(f"need at least one cluster, got {n_clusters}")
+    rng = np.random.default_rng(seed)
+    cluster_centers = rng.uniform(
+        0.1 * universe_side, 0.9 * universe_side, size=(n_clusters, ndim)
+    )
+    assignments = rng.integers(0, n_clusters, size=n)
+    centers = cluster_centers[assignments] + rng.normal(
+        0.0, cluster_std, size=(n, ndim)
+    )
+    sides = rng.uniform(side_range[0], side_range[1], size=(n, ndim))
+    lo = centers - sides / 2.0
+    hi = centers + sides / 2.0
+    lo, hi = _clip_to_universe(lo, hi, universe_side)
+    universe = Box((0.0,) * ndim, (universe_side,) * ndim)
+    return Dataset(BoxStore(lo, hi), universe, f"gaussian-{n}", seed)
+
+
+def make_points(
+    n: int,
+    ndim: int = 3,
+    universe_side: float = PAPER_UNIVERSE_SIDE,
+    seed: int = 0,
+) -> Dataset:
+    """Degenerate (zero-extent) boxes — pure points.
+
+    Edge-case dataset: with zero extent, query extension degenerates to the
+    plain window and replication places each object in exactly one cell.
+    """
+    _check_common(n, ndim, universe_side)
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, universe_side, size=(n, ndim))
+    universe = Box((0.0,) * ndim, (universe_side,) * ndim)
+    return Dataset(BoxStore(pts, pts.copy()), universe, f"points-{n}", seed)

@@ -1,0 +1,65 @@
+"""Persistence helpers for datasets.
+
+Datasets are saved as ``.npz`` archives holding the corner matrices, the
+identifier vector, the universe corners, and generator provenance.  This is
+enough to re-run any benchmark on the exact same data without re-generating
+(and is the stand-in for the paper's on-disk 21–45 GB input files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.generators import Dataset
+from repro.datasets.store import BoxStore
+from repro.errors import DatasetError
+from repro.geometry.box import Box
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write a dataset to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        lo=dataset.store.lo,
+        hi=dataset.store.hi,
+        ids=dataset.store.ids,
+        universe_lo=np.asarray(dataset.universe.lo, dtype=np.float64),
+        universe_hi=np.asarray(dataset.universe.hi, dtype=np.float64),
+        name=np.str_(dataset.name),
+        seed=np.int64(dataset.seed),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            version = int(archive["version"])
+            lo = archive["lo"]
+            hi = archive["hi"]
+            ids = archive["ids"]
+            universe = Box(
+                tuple(archive["universe_lo"]), tuple(archive["universe_hi"])
+            )
+            name = str(archive["name"])
+            seed = int(archive["seed"])
+        except KeyError as exc:
+            raise DatasetError(f"{path} is not a repro dataset archive") from exc
+    if version != _FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported dataset format version {version} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    return Dataset(BoxStore(lo, hi, ids), universe, name, seed)

@@ -1,0 +1,256 @@
+"""The in-memory "data array" that every index reorganizes.
+
+The paper stores raw spatial objects in a flat main-memory array and builds
+incremental indexes by *physically reordering* that array (Figure 4, middle
+row).  :class:`BoxStore` is that array: an ``(n, d)`` pair of coordinate
+matrices (lower and upper corners) plus a parallel vector of stable object
+identifiers.  Incremental indexes (QUASII, SFCracker, Mosaic) permute rows
+in place; static indexes either reorder a copy at build time (SFC, STR
+leaf packing) or reference rows by position (grid, R-Tree).
+
+Only permutations are ever applied — a store's multiset of ``(id, box)``
+rows is invariant under any query sequence, which the test suite enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError, GeometryError
+from repro.geometry.box import Box
+from repro.geometry.predicates import boxes_intersect_window
+
+
+class BoxStore:
+    """A columnar store of ``n`` axis-aligned boxes supporting in-place reorder.
+
+    Parameters
+    ----------
+    lo, hi:
+        ``(n, d)`` float64 matrices of lower/upper corners.  ``lo <= hi``
+        must hold element-wise.
+    ids:
+        Optional length-``n`` int64 identifier vector; defaults to
+        ``0..n-1``.  Identifiers are carried along every reordering so
+        query results are stable regardless of physical order.
+    """
+
+    __slots__ = ("_lo", "_hi", "_ids", "_max_extent")
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> None:
+        lo = np.ascontiguousarray(lo, dtype=np.float64)
+        hi = np.ascontiguousarray(hi, dtype=np.float64)
+        # ascontiguousarray does not copy an already-suitable input, so
+        # BoxStore(points, points) would alias lo and hi to one buffer —
+        # and in-place reordering would then permute it twice.  Reordering
+        # also requires the corner matrices to own distinct memory.
+        if np.shares_memory(lo, hi):
+            hi = hi.copy()
+        if lo.ndim != 2 or hi.ndim != 2:
+            raise DatasetError("corner matrices must be two-dimensional")
+        if lo.shape != hi.shape:
+            raise DatasetError(
+                f"corner shape mismatch: {lo.shape} vs {hi.shape}"
+            )
+        if lo.shape[1] == 0:
+            raise DatasetError("boxes need at least one dimension")
+        if np.any(lo > hi):
+            bad = int(np.argmax(np.any(lo > hi, axis=1)))
+            raise GeometryError(f"row {bad}: lower corner exceeds upper corner")
+        if ids is None:
+            ids = np.arange(lo.shape[0], dtype=np.int64)
+        else:
+            ids = np.ascontiguousarray(ids, dtype=np.int64)
+            if ids.shape != (lo.shape[0],):
+                raise DatasetError(
+                    f"ids shape {ids.shape} does not match {lo.shape[0]} rows"
+                )
+        self._lo = lo
+        self._hi = hi
+        self._ids = ids
+        self._max_extent: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_boxes(
+        cls, boxes: Iterable[Box], ids: Sequence[int] | None = None
+    ) -> BoxStore:
+        """Build a store from scalar :class:`Box` values."""
+        box_list = list(boxes)
+        if not box_list:
+            raise DatasetError("cannot build a store from zero boxes")
+        ndim = box_list[0].ndim
+        for i, b in enumerate(box_list):
+            if b.ndim != ndim:
+                raise DatasetError(
+                    f"box {i} has {b.ndim} dims, expected {ndim}"
+                )
+        lo = np.array([b.lo for b in box_list], dtype=np.float64)
+        hi = np.array([b.hi for b in box_list], dtype=np.float64)
+        id_arr = None if ids is None else np.asarray(ids, dtype=np.int64)
+        return cls(lo, hi, id_arr)
+
+    def copy(self) -> BoxStore:
+        """Deep copy; the original is untouched by operations on the copy."""
+        return BoxStore(self._lo.copy(), self._hi.copy(), self._ids.copy())
+
+    # ------------------------------------------------------------------
+    # Shape & access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._lo.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of stored boxes."""
+        return self._lo.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the stored boxes."""
+        return self._lo.shape[1]
+
+    @property
+    def lo(self) -> np.ndarray:
+        """``(n, d)`` lower-corner matrix (live view; do not mutate)."""
+        return self._lo
+
+    @property
+    def hi(self) -> np.ndarray:
+        """``(n, d)`` upper-corner matrix (live view; do not mutate)."""
+        return self._hi
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Length-``n`` identifier vector, permuted alongside coordinates."""
+        return self._ids
+
+    def box_at(self, row: int) -> Box:
+        """The box currently stored at physical position ``row``."""
+        return Box(tuple(self._lo[row]), tuple(self._hi[row]))
+
+    def id_at(self, row: int) -> int:
+        """The identifier currently stored at physical position ``row``."""
+        return int(self._ids[row])
+
+    # ------------------------------------------------------------------
+    # Dataset-level measures
+    # ------------------------------------------------------------------
+    @property
+    def max_extent(self) -> np.ndarray:
+        """Per-dimension maximum object side length.
+
+        Query extension enlarges windows by exactly this vector; it is
+        cached because it is workload-invariant (stores are never resized).
+        """
+        if self._max_extent is None:
+            self._max_extent = (self._hi - self._lo).max(axis=0)
+        return self._max_extent
+
+    def bounds(self) -> Box:
+        """MBB of the whole dataset."""
+        return Box(tuple(self._lo.min(axis=0)), tuple(self._hi.max(axis=0)))
+
+    def mbr_of_range(self, begin: int, end: int) -> Box:
+        """MBB of the physical row range ``[begin, end)``."""
+        self._check_range(begin, end)
+        if begin == end:
+            raise DatasetError("cannot compute the MBR of an empty range")
+        return Box(
+            tuple(self._lo[begin:end].min(axis=0)),
+            tuple(self._hi[begin:end].max(axis=0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def scan_range(
+        self,
+        begin: int,
+        end: int,
+        window_lo: np.ndarray,
+        window_hi: np.ndarray,
+    ) -> np.ndarray:
+        """Identifiers of boxes in rows ``[begin, end)`` intersecting the window."""
+        self._check_range(begin, end)
+        mask = boxes_intersect_window(
+            self._lo[begin:end], self._hi[begin:end], window_lo, window_hi
+        )
+        return self._ids[begin:end][mask]
+
+    def count_range(
+        self,
+        begin: int,
+        end: int,
+        window_lo: np.ndarray,
+        window_hi: np.ndarray,
+    ) -> int:
+        """Number of boxes in rows ``[begin, end)`` intersecting the window."""
+        self._check_range(begin, end)
+        mask = boxes_intersect_window(
+            self._lo[begin:end], self._hi[begin:end], window_lo, window_hi
+        )
+        return int(mask.sum())
+
+    # ------------------------------------------------------------------
+    # Reordering (the cracking primitive)
+    # ------------------------------------------------------------------
+    def apply_order(self, order: np.ndarray) -> None:
+        """Permute the entire store by ``order`` (a full permutation)."""
+        self.apply_order_range(0, self.n, order)
+
+    def apply_order_range(self, begin: int, end: int, order: np.ndarray) -> None:
+        """Permute rows ``[begin, end)`` by ``order`` (relative indices).
+
+        ``order`` must be a permutation of ``0..end-begin-1``; row
+        ``begin + order[k]`` moves to position ``begin + k``.  This is the
+        only mutation primitive — all cracking is built on it — so the
+        multiset of rows can never change.
+        """
+        self._check_range(begin, end)
+        span = end - begin
+        if order.shape != (span,):
+            raise DatasetError(
+                f"order length {order.shape} does not match range span {span}"
+            )
+        sub = slice(begin, end)
+        self._lo[sub] = self._lo[sub][order]
+        self._hi[sub] = self._hi[sub][order]
+        self._ids[sub] = self._ids[sub][order]
+
+    def _check_range(self, begin: int, end: int) -> None:
+        if not (0 <= begin <= end <= self.n):
+            raise DatasetError(
+                f"invalid row range [{begin}, {end}) for store of {self.n} rows"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> bytes:
+        """Order-insensitive digest of the (id, box) multiset.
+
+        Two stores that are permutations of each other have equal
+        fingerprints; used by tests to assert permutation safety.
+        """
+        order = np.argsort(self._ids, kind="stable")
+        stacked = np.hstack(
+            [
+                self._ids[order, None].astype(np.float64),
+                self._lo[order],
+                self._hi[order],
+            ]
+        )
+        return stacked.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BoxStore(n={self.n}, ndim={self.ndim})"

@@ -1,0 +1,12 @@
+"""Extensions built on the paper's primitives.
+
+The paper notes (Section 2) that range queries "are also the building
+block for many other spatial queries (e.g., k-nearest neighbor queries)".
+This package delivers on that: :func:`k_nearest` runs kNN over *any*
+:class:`~repro.index.base.SpatialIndex` — including a still-converging
+QUASII — via expanding-window range search.
+"""
+
+from repro.extensions.knn import k_nearest
+
+__all__ = ["k_nearest"]

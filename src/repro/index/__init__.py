@@ -1,0 +1,5 @@
+"""Common index interface shared by QUASII and every baseline."""
+
+from repro.index.base import IndexStats, SpatialIndex
+
+__all__ = ["IndexStats", "SpatialIndex"]

@@ -1,0 +1,143 @@
+"""Abstract interface implemented by every index in the library.
+
+The paper compares seven systems (Scan, SFC, SFCracker, Grid, Mosaic,
+R-Tree, QUASII).  They all expose the same two-phase contract:
+
+* :meth:`SpatialIndex.build` — the static pre-processing step.  For
+  incremental indexes this is (nearly) free; for static ones it is the
+  "Building" bar of Figures 11 and 12.  The benchmark harness times it
+  separately so cumulative-time plots can include it, exactly as the paper
+  does.
+* :meth:`SpatialIndex.query` — answer one range query, *possibly mutating
+  internal state and the data array* (that is the whole point of
+  incremental indexing).
+
+Implementations also maintain an :class:`IndexStats` counter block so the
+harness can report machine-independent work measures (objects tested,
+cracks performed) next to wall-clock times.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.errors import QueryError
+from repro.queries.range_query import RangeQuery
+
+
+@dataclass
+class IndexStats:
+    """Machine-independent work counters, reset per benchmark phase.
+
+    Attributes
+    ----------
+    queries:
+        Number of queries answered.
+    objects_tested:
+        Candidate objects checked against a query window (the paper's
+        "objects considered for intersection", e.g. the 3.1x GridQueryExt
+        vs R-Tree factor of Section 6.2).
+    results_returned:
+        Total result-set cardinality.
+    nodes_visited:
+        Index nodes/slices/cells inspected.
+    cracks:
+        Reorganization operations performed (crack/split/repartition).
+    rows_reorganized:
+        Total rows physically moved by reorganizations — the paper's
+        incremental-strategy cost driver.
+    """
+
+    queries: int = 0
+    objects_tested: int = 0
+    results_returned: int = 0
+    nodes_visited: int = 0
+    cracks: int = 0
+    rows_reorganized: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.queries = 0
+        self.objects_tested = 0
+        self.results_returned = 0
+        self.nodes_visited = 0
+        self.cracks = 0
+        self.rows_reorganized = 0
+
+    def snapshot(self) -> IndexStats:
+        """A frozen copy of the current counter values."""
+        return IndexStats(
+            queries=self.queries,
+            objects_tested=self.objects_tested,
+            results_returned=self.results_returned,
+            nodes_visited=self.nodes_visited,
+            cracks=self.cracks,
+            rows_reorganized=self.rows_reorganized,
+        )
+
+
+class SpatialIndex(abc.ABC):
+    """Base class for all spatial access methods in the library.
+
+    Subclasses receive the shared :class:`~repro.datasets.store.BoxStore`
+    and answer :class:`~repro.queries.range_query.RangeQuery` windows with
+    NumPy arrays of object identifiers (unordered; callers sort when they
+    need canonical output).
+    """
+
+    #: Short machine-readable name used by reports ("QUASII", "R-Tree", ...).
+    name: str = "abstract"
+
+    def __init__(self, store: BoxStore) -> None:
+        self._store = store
+        self.stats = IndexStats()
+        self._built = False
+        #: Work units spent by the static build step (0 for incrementals).
+        #: Together with the per-query counters this yields a machine-
+        #: independent comparison-cost model: testing or moving a row
+        #: costs one unit, sorting m rows costs m*log2(m) units.
+        self.build_work = 0
+
+    @property
+    def store(self) -> BoxStore:
+        """The underlying data array (incremental indexes permute it)."""
+        return self._store
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    def build(self) -> None:
+        """Run the static pre-processing step (idempotent).
+
+        Incremental indexes keep the default no-op — their "build" happens
+        as a side effect of queries.
+        """
+        self._built = True
+
+    def query(self, query: RangeQuery) -> np.ndarray:
+        """Answer a range query, returning intersecting object identifiers."""
+        if query.ndim != self._store.ndim:
+            raise QueryError(
+                f"query has {query.ndim} dims, store has {self._store.ndim}"
+            )
+        self.stats.queries += 1
+        result = self._query(query)
+        self.stats.results_returned += int(result.size)
+        return result
+
+    @abc.abstractmethod
+    def _query(self, query: RangeQuery) -> np.ndarray:
+        """Index-specific query implementation."""
+
+    def memory_bytes(self) -> int:
+        """Approximate size of auxiliary index structures (not the data)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(n={self._store.n})"

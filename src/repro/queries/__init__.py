@@ -1,0 +1,21 @@
+"""Query model: range windows and the paper's workload generators."""
+
+from repro.queries.io import load_workload, save_workload
+from repro.queries.range_query import RangeQuery, side_for_volume_fraction
+from repro.queries.workloads import (
+    clustered_workload,
+    selectivity_sweep,
+    sequential_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "RangeQuery",
+    "clustered_workload",
+    "load_workload",
+    "save_workload",
+    "selectivity_sweep",
+    "sequential_workload",
+    "side_for_volume_fraction",
+    "uniform_workload",
+]

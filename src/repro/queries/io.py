@@ -1,0 +1,59 @@
+"""Workload persistence: save/replay exact query sequences.
+
+The paper's evaluation depends on *sequences* (convergence is a property
+of the order queries arrive in), so reproducibility requires replaying the
+exact same workload.  Generators are seeded, but persisting the windows
+also guards against generator evolution across versions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.box import Box
+from repro.queries.range_query import RangeQuery
+
+_FORMAT_VERSION = 1
+
+
+def save_workload(queries: list[RangeQuery], path: str | Path) -> Path:
+    """Write a query sequence to ``path`` (``.npz`` appended if missing)."""
+    if not queries:
+        raise QueryError("cannot save an empty workload")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    lo = np.array([q.window.lo for q in queries], dtype=np.float64)
+    hi = np.array([q.window.hi for q in queries], dtype=np.float64)
+    seqs = np.array([q.seq for q in queries], dtype=np.int64)
+    np.savez_compressed(
+        path, version=np.int64(_FORMAT_VERSION), lo=lo, hi=hi, seq=seqs
+    )
+    return path
+
+
+def load_workload(path: str | Path) -> list[RangeQuery]:
+    """Read a query sequence written by :func:`save_workload`."""
+    path = Path(path)
+    if not path.exists():
+        raise QueryError(f"workload file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            version = int(archive["version"])
+            lo = archive["lo"]
+            hi = archive["hi"]
+            seqs = archive["seq"]
+        except KeyError as exc:
+            raise QueryError(f"{path} is not a repro workload archive") from exc
+    if version != _FORMAT_VERSION:
+        raise QueryError(
+            f"unsupported workload format version {version} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    return [
+        RangeQuery(Box(tuple(lo[i]), tuple(hi[i])), seq=int(seqs[i]))
+        for i in range(lo.shape[0])
+    ]

@@ -1,0 +1,89 @@
+"""Range (window) queries — the paper's sole query type.
+
+A range query is a box; all objects whose MBB intersects it belong to the
+result (Section 2).  :class:`RangeQuery` wraps the window box with a stable
+sequence number (its position in the workload) and caches the NumPy corner
+vectors every index kernel consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.box import Box
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A window query with a workload sequence number.
+
+    Attributes
+    ----------
+    window:
+        The query box ``(ql, qu)``.
+    seq:
+        Zero-based position in the workload; used by benchmark reports
+        ("query sequence" axis of every figure).
+    """
+
+    window: Box
+    seq: int = 0
+    _lo: np.ndarray = field(init=False, repr=False, compare=False)
+    _hi: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise QueryError(f"query sequence number must be >= 0, got {self.seq}")
+        object.__setattr__(
+            self, "_lo", np.asarray(self.window.lo, dtype=np.float64)
+        )
+        object.__setattr__(
+            self, "_hi", np.asarray(self.window.hi, dtype=np.float64)
+        )
+
+    @property
+    def lo(self) -> np.ndarray:
+        """Lower corner as a float64 vector (cached)."""
+        return self._lo
+
+    @property
+    def hi(self) -> np.ndarray:
+        """Upper corner as a float64 vector (cached)."""
+        return self._hi
+
+    @property
+    def ndim(self) -> int:
+        """Window dimensionality."""
+        return self.window.ndim
+
+    @property
+    def volume(self) -> float:
+        """Window volume (the paper's ``qvol`` measure, in absolute units)."""
+        return self.window.volume
+
+    def volume_fraction(self, universe: Box) -> float:
+        """Window volume as a fraction of the universe volume.
+
+        This is the paper's *selectivity* knob: e.g. ``1e-4`` is the
+        "10^-2 %" clustered workload and ``1e-3`` the "0.1 %" uniform one.
+        """
+        uni_vol = universe.volume
+        if uni_vol <= 0:
+            raise QueryError("universe has zero volume")
+        return self.volume / uni_vol
+
+
+def side_for_volume_fraction(universe: Box, fraction: float) -> float:
+    """Side length of the cube covering ``fraction`` of the universe volume.
+
+    The paper specifies query sizes as volume fractions ("selectivity");
+    workload generators convert them to cubic windows with this helper.
+    """
+    if fraction <= 0:
+        raise QueryError(f"volume fraction must be positive, got {fraction}")
+    if fraction > 1:
+        raise QueryError(f"volume fraction must be <= 1, got {fraction}")
+    return float(universe.volume * fraction) ** (1.0 / universe.ndim)

@@ -1,0 +1,199 @@
+"""Query workload generators matching the paper's evaluation (Section 6.1).
+
+Two workload shapes drive every figure:
+
+* **Clustered** (:func:`clustered_workload`) — the neuroscience use case:
+  ``n_clusters`` regions are picked at random, then each receives a burst
+  of spatially close queries whose centers follow a Gaussian around the
+  cluster center.  The paper uses 5 clusters x 100 queries with a fixed
+  window volume of 10^-2 % of the universe and sigma tied to the query
+  extent.  The bursts produce the five per-cluster peaks visible in
+  Figures 7–9.
+* **Uniform** (:func:`uniform_workload`) — up to 10,000 independently
+  placed queries of a fixed volume fraction, used for the convergence,
+  scalability, and selectivity studies (Figures 10–12).
+
+Windows are always clipped to the universe so a query never asks for space
+where no data can live (matching how the paper samples query centers from
+the dataset extent).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.box import Box
+from repro.queries.range_query import RangeQuery, side_for_volume_fraction
+
+
+def _window_at(
+    center: np.ndarray, side: float, universe: Box
+) -> Box:
+    """Cubic window of the given side centered at ``center``, clipped."""
+    half = side / 2.0
+    lo = np.maximum(center - half, np.asarray(universe.lo))
+    hi = np.minimum(center + half, np.asarray(universe.hi))
+    hi = np.maximum(hi, lo)
+    return Box(tuple(lo), tuple(hi))
+
+
+def clustered_workload(
+    universe: Box,
+    n_clusters: int = 5,
+    queries_per_cluster: int = 100,
+    volume_fraction: float = 1e-4,
+    sigma_in_sides: float = 2.0,
+    seed: int = 0,
+) -> list[RangeQuery]:
+    """The paper's clustered exploration workload.
+
+    Parameters
+    ----------
+    universe:
+        Box to draw cluster centers from (the dataset universe).
+    n_clusters, queries_per_cluster:
+        Workload shape; the paper uses 5 x 100.
+    volume_fraction:
+        Window volume as a fraction of the universe volume.  The paper's
+        "selectivity 0.01%" is ``1e-4``.
+    sigma_in_sides:
+        Standard deviation of query centers around their cluster center,
+        expressed in window side lengths.  The paper ties sigma to the
+        query volume; measuring it in window sides keeps the bursts
+        overlapping (each cluster's queries repeatedly touch the same
+        region) for any selectivity.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    list[RangeQuery]
+        ``n_clusters * queries_per_cluster`` queries ordered cluster by
+        cluster — the order matters, it produces the per-cluster peaks of
+        Figures 7–9.
+    """
+    if n_clusters < 1:
+        raise ConfigurationError(f"need at least one cluster, got {n_clusters}")
+    if queries_per_cluster < 1:
+        raise ConfigurationError(
+            f"need at least one query per cluster, got {queries_per_cluster}"
+        )
+    if sigma_in_sides < 0:
+        raise ConfigurationError(
+            f"sigma_in_sides must be non-negative, got {sigma_in_sides}"
+        )
+    rng = np.random.default_rng(seed)
+    side = side_for_volume_fraction(universe, volume_fraction)
+    uni_lo = np.asarray(universe.lo)
+    uni_hi = np.asarray(universe.hi)
+
+    # Keep cluster centers away from the boundary so the windows around
+    # them stay (mostly) inside the universe.
+    margin = min(side * (sigma_in_sides + 1.0), float((uni_hi - uni_lo).min()) / 4)
+    centers = rng.uniform(uni_lo + margin, uni_hi - margin, size=(n_clusters, universe.ndim))
+
+    queries: list[RangeQuery] = []
+    sigma = side * sigma_in_sides
+    for c in range(n_clusters):
+        offsets = rng.normal(0.0, sigma, size=(queries_per_cluster, universe.ndim))
+        for k in range(queries_per_cluster):
+            window = _window_at(centers[c] + offsets[k], side, universe)
+            queries.append(RangeQuery(window, seq=len(queries)))
+    return queries
+
+
+def uniform_workload(
+    universe: Box,
+    n_queries: int = 1000,
+    volume_fraction: float = 1e-3,
+    seed: int = 0,
+) -> list[RangeQuery]:
+    """Uniformly distributed cubic windows of a fixed volume fraction."""
+    if n_queries < 1:
+        raise ConfigurationError(f"need at least one query, got {n_queries}")
+    rng = np.random.default_rng(seed)
+    side = side_for_volume_fraction(universe, volume_fraction)
+    uni_lo = np.asarray(universe.lo)
+    uni_hi = np.asarray(universe.hi)
+    centers = rng.uniform(uni_lo, uni_hi, size=(n_queries, universe.ndim))
+    return [
+        RangeQuery(_window_at(centers[k], side, universe), seq=k)
+        for k in range(n_queries)
+    ]
+
+
+def sequential_workload(
+    universe: Box,
+    n_queries: int = 100,
+    volume_fraction: float = 1e-3,
+    overlap: float = 0.0,
+    dim: int = 0,
+    seed: int = 0,
+) -> list[RangeQuery]:
+    """Windows sweeping the universe along one dimension, left to right.
+
+    Sequential patterns are the classic adversarial case for cracking
+    (each query touches a fresh, never-cracked region, so per-query
+    reorganization cost never converges within the sweep — the motivation
+    behind stochastic cracking [Halim et al.], which the paper cites).
+    This generator exists to probe that regime for spatial cracking.
+
+    Parameters
+    ----------
+    universe:
+        Box to sweep.
+    n_queries:
+        Number of windows in the sweep.
+    volume_fraction:
+        Window volume as a fraction of the universe volume.
+    overlap:
+        Fraction of a window side shared by consecutive windows
+        (``0`` = disjoint steps, ``0.5`` = half-overlapping).
+    dim:
+        Sweep dimension; other dimensions get a fixed random center.
+    seed:
+        RNG seed for the off-sweep center coordinates.
+    """
+    if n_queries < 1:
+        raise ConfigurationError(f"need at least one query, got {n_queries}")
+    if not 0.0 <= overlap < 1.0:
+        raise ConfigurationError(f"overlap must be in [0, 1), got {overlap}")
+    if not 0 <= dim < universe.ndim:
+        raise ConfigurationError(
+            f"dim {dim} out of range for a {universe.ndim}-d universe"
+        )
+    rng = np.random.default_rng(seed)
+    side = side_for_volume_fraction(universe, volume_fraction)
+    uni_lo = np.asarray(universe.lo)
+    uni_hi = np.asarray(universe.hi)
+    center = rng.uniform(uni_lo + side / 2, uni_hi - side / 2)
+    step = side * (1.0 - overlap)
+    queries: list[RangeQuery] = []
+    span = max(float(uni_hi[dim] - uni_lo[dim]) - side, 1e-12)
+    for k in range(n_queries):
+        # Sweep wraps around once the window reaches the universe edge.
+        center[dim] = uni_lo[dim] + side / 2 + ((k * step) % span)
+        queries.append(RangeQuery(_window_at(center, side, universe), seq=k))
+    return queries
+
+
+def selectivity_sweep(
+    universe: Box,
+    fractions: Sequence[float],
+    n_queries: int,
+    seed: int = 0,
+) -> dict[float, list[RangeQuery]]:
+    """One uniform workload per requested volume fraction (Figure 12).
+
+    Each fraction's workload shares query *centers* (same seed) so the
+    sweep isolates the selectivity effect from placement noise.
+    """
+    if not fractions:
+        raise ConfigurationError("need at least one volume fraction")
+    return {
+        float(f): uniform_workload(universe, n_queries, float(f), seed)
+        for f in fractions
+    }

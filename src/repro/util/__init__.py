@@ -1,0 +1,5 @@
+"""Small shared utilities (array tricks used by several indexes)."""
+
+from repro.util.arrays import gather_ranges
+
+__all__ = ["gather_ranges"]

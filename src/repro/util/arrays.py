@@ -1,0 +1,40 @@
+"""NumPy array utilities shared across index implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gather_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(starts[i], ends[i])`` without a Python loop.
+
+    The grid index answers a window query by gathering many contiguous
+    segments of its cell-sorted row array; doing this with ``np.repeat`` /
+    ``cumsum`` instead of a per-cell loop keeps large-window queries (which
+    touch tens of thousands of cells) vectorized.
+
+    Parameters
+    ----------
+    starts, ends:
+        Equal-length integer arrays with ``starts <= ends`` element-wise.
+
+    Returns
+    -------
+    np.ndarray
+        ``concatenate([arange(s, e) for s, e in zip(starts, ends)])``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if starts.shape != ends.shape:
+        raise ValueError("starts and ends must have the same shape")
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    lengths = ends - starts
+    if np.any(lengths < 0):
+        raise ValueError("ends must be >= starts")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    boundaries = np.cumsum(lengths)
+    offsets = np.repeat(starts - np.concatenate(([0], boundaries[:-1])), lengths)
+    return np.arange(total, dtype=np.int64) + offsets

@@ -1,0 +1,77 @@
+"""Property tests for Box algebra and vectorized predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, boxes_intersect_window
+
+COORD = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def boxes(draw, ndim=None):
+    d = ndim if ndim is not None else draw(st.integers(1, 4))
+    lo = [draw(COORD) for _ in range(d)]
+    hi = [l + abs(draw(COORD)) % 1e5 for l in lo]
+    return Box(tuple(lo), tuple(hi))
+
+
+@given(boxes())
+def test_intersects_is_reflexive(b):
+    assert b.intersects(b)
+
+
+@given(st.integers(1, 4).flatmap(lambda d: st.tuples(boxes(ndim=d), boxes(ndim=d))))
+def test_intersects_is_symmetric(pair):
+    a, b = pair
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(st.integers(1, 4).flatmap(lambda d: st.tuples(boxes(ndim=d), boxes(ndim=d))))
+def test_union_contains_both(pair):
+    a, b = pair
+    u = a.union(b)
+    assert u.contains_box(a) and u.contains_box(b)
+
+
+@given(st.integers(1, 4).flatmap(lambda d: st.tuples(boxes(ndim=d), boxes(ndim=d))))
+def test_intersection_consistent_with_predicate(pair):
+    a, b = pair
+    inter = a.intersection(b)
+    assert (inter is not None) == a.intersects(b)
+    if inter is not None:
+        assert a.contains_box(inter) and b.contains_box(inter)
+
+
+@given(st.integers(1, 4).flatmap(lambda d: st.tuples(boxes(ndim=d), boxes(ndim=d))))
+def test_intersection_volume_bounded(pair):
+    a, b = pair
+    inter = a.intersection(b)
+    if inter is not None:
+        assert inter.volume <= min(a.volume, b.volume) + 1e-6
+
+
+@given(boxes(), st.lists(st.floats(0, 100), min_size=1, max_size=4))
+def test_expanded_contains_original(b, margins):
+    margins = (margins * b.ndim)[: b.ndim]
+    grown = b.expanded(margins)
+    assert grown.contains_box(b)
+
+
+@given(st.integers(2, 50), st.integers(0, 2**31 - 1))
+@settings(max_examples=50)
+def test_vectorized_matches_scalar(n, seed):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(-100, 100, size=(n, 3))
+    hi = lo + rng.uniform(0, 50, size=(n, 3))
+    qlo = rng.uniform(-100, 100, size=3)
+    qhi = qlo + rng.uniform(0, 100, size=3)
+    mask = boxes_intersect_window(lo, hi, qlo, qhi)
+    window = Box(tuple(qlo), tuple(qhi))
+    for i in range(n):
+        assert mask[i] == Box(tuple(lo[i]), tuple(hi[i])).intersects(window)

@@ -1,0 +1,180 @@
+"""Unit tests for the Box value type."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Box
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        b = Box((0.0, 1.0), (2.0, 3.0))
+        assert b.lo == (0.0, 1.0)
+        assert b.hi == (2.0, 3.0)
+        assert b.ndim == 2
+
+    def test_coordinates_coerced_to_float(self):
+        b = Box((0, 1), (2, 3))
+        assert isinstance(b.lo[0], float)
+        assert b.hi == (2.0, 3.0)
+
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(GeometryError, match="dimension 1"):
+            Box((0.0, 5.0), (1.0, 4.0))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(GeometryError, match="mismatch"):
+            Box((0.0,), (1.0, 2.0))
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(GeometryError, match="at least one"):
+            Box((), ())
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError, match="NaN"):
+            Box((float("nan"),), (1.0,))
+
+    def test_degenerate_box_allowed(self):
+        b = Box((1.0, 2.0), (1.0, 2.0))
+        assert b.is_degenerate
+        assert b.volume == 0.0
+
+    def test_from_center(self):
+        b = Box.from_center((5.0, 5.0), (2.0, 4.0))
+        assert b.lo == (4.0, 3.0)
+        assert b.hi == (6.0, 7.0)
+
+    def test_from_center_length_mismatch(self):
+        with pytest.raises(GeometryError):
+            Box.from_center((5.0,), (2.0, 4.0))
+
+    def test_cube(self):
+        b = Box.cube((1.0, 1.0, 1.0), 2.0)
+        assert b.hi == (3.0, 3.0, 3.0)
+        assert b.volume == 8.0
+
+    def test_cube_negative_side(self):
+        with pytest.raises(GeometryError):
+            Box.cube((0.0,), -1.0)
+
+    def test_unit(self):
+        b = Box.unit(3)
+        assert b.lo == (0.0, 0.0, 0.0)
+        assert b.volume == 1.0
+
+    def test_immutable(self):
+        b = Box.unit(2)
+        with pytest.raises(AttributeError):
+            b.lo = (1.0, 1.0)
+
+
+class TestMeasures:
+    def test_sides_and_volume(self):
+        b = Box((0.0, 0.0, 0.0), (1.0, 2.0, 3.0))
+        assert b.sides == (1.0, 2.0, 3.0)
+        assert b.volume == 6.0
+
+    def test_center(self):
+        assert Box((0.0, 2.0), (4.0, 4.0)).center == (2.0, 3.0)
+
+    def test_iter_yields_corners(self):
+        lo, hi = Box((0.0,), (1.0,))
+        assert lo == (0.0,) and hi == (1.0,)
+
+
+class TestPredicates:
+    def test_disjoint(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((2.0, 2.0), (3.0, 3.0))
+        assert not a.intersects(b)
+        assert not b.intersects(a)
+
+    def test_overlapping(self):
+        a = Box((0.0, 0.0), (2.0, 2.0))
+        b = Box((1.0, 1.0), (3.0, 3.0))
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_touching_faces_intersect(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((1.0, 0.0), (2.0, 1.0))
+        assert a.intersects(b), "closed boxes sharing a face must intersect"
+
+    def test_touching_corner_intersects(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((1.0, 1.0), (2.0, 2.0))
+        assert a.intersects(b)
+
+    def test_containment_implies_intersection(self):
+        outer = Box((0.0, 0.0), (10.0, 10.0))
+        inner = Box((2.0, 2.0), (3.0, 3.0))
+        assert outer.contains_box(inner)
+        assert outer.intersects(inner)
+        assert not inner.contains_box(outer)
+
+    def test_contains_point_boundary(self):
+        b = Box((0.0, 0.0), (1.0, 1.0))
+        assert b.contains_point((0.0, 1.0))
+        assert not b.contains_point((1.0, 1.5))
+
+    def test_contains_point_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            Box.unit(2).contains_point((0.5,))
+
+    def test_intersects_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            Box.unit(2).intersects(Box.unit(3))
+
+
+class TestCombinators:
+    def test_union(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((2.0, -1.0), (3.0, 0.5))
+        u = a.union(b)
+        assert u.lo == (0.0, -1.0)
+        assert u.hi == (3.0, 1.0)
+
+    def test_intersection_overlap(self):
+        a = Box((0.0, 0.0), (2.0, 2.0))
+        b = Box((1.0, 1.0), (3.0, 3.0))
+        inter = a.intersection(b)
+        assert inter == Box((1.0, 1.0), (2.0, 2.0))
+
+    def test_intersection_disjoint_is_none(self):
+        a = Box((0.0,), (1.0,))
+        b = Box((2.0,), (3.0,))
+        assert a.intersection(b) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        a = Box((0.0,), (1.0,))
+        b = Box((1.0,), (2.0,))
+        inter = a.intersection(b)
+        assert inter is not None and inter.is_degenerate
+
+    def test_expanded(self):
+        b = Box((1.0, 1.0), (2.0, 2.0)).expanded((0.5, 1.0))
+        assert b.lo == (0.5, 0.0)
+        assert b.hi == (2.5, 3.0)
+
+    def test_expanded_rejects_negative(self):
+        with pytest.raises(GeometryError):
+            Box.unit(1).expanded((-0.1,))
+
+    def test_translated(self):
+        b = Box((0.0, 0.0), (1.0, 1.0)).translated((5.0, -1.0))
+        assert b.lo == (5.0, -1.0)
+        assert b.hi == (6.0, 0.0)
+
+    def test_clipped_to(self):
+        window = Box((0.0, 0.0), (10.0, 10.0))
+        b = Box((-5.0, 5.0), (5.0, 15.0))
+        clipped = b.clipped_to(window)
+        assert clipped == Box((0.0, 5.0), (5.0, 10.0))
+
+    def test_union_volume_superadditive(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((5.0, 5.0), (6.0, 6.0))
+        assert a.union(b).volume >= a.volume + b.volume

@@ -1,0 +1,83 @@
+"""Unit tests for the QUASII threshold ladder (paper Equation 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import PAPER_TAU, QuasiiConfig
+from repro.errors import ConfigurationError
+
+
+class TestForDataset:
+    def test_paper_formula_3d(self):
+        # n = 100k, tau = 60: r = ceil((100000/60)^(1/3)) = 12.
+        cfg = QuasiiConfig.for_dataset(100_000, ndim=3, tau=60)
+        assert cfg.fanout == 12
+        assert cfg.level_thresholds == (60 * 12 * 12, 60 * 12, 60)
+        assert cfg.leaf_threshold == 60
+
+    def test_fanout_matches_equation_one(self):
+        for n in (1_000, 50_000, 777_777):
+            cfg = QuasiiConfig.for_dataset(n, ndim=3, tau=60)
+            expected = math.ceil(math.ceil(n / 60) ** (1 / 3) - 1e-9)
+            # ceil of the float cube root may differ by one ulp; accept both
+            # exact and +1 (ceil on inexact floats).
+            assert cfg.fanout in (expected, expected + 1)
+
+    def test_enough_partitions(self):
+        # r^d * tau must be able to hold the whole dataset.
+        for n in (100, 5_000, 123_456):
+            cfg = QuasiiConfig.for_dataset(n, ndim=3, tau=60)
+            assert cfg.fanout ** 3 * 60 >= n
+
+    def test_2d_ladder(self):
+        cfg = QuasiiConfig.for_dataset(1_000, ndim=2, tau=10)
+        assert len(cfg.level_thresholds) == 2
+        assert cfg.level_thresholds[1] == 10
+        assert cfg.level_thresholds[0] == 10 * cfg.fanout
+
+    def test_tiny_dataset(self):
+        cfg = QuasiiConfig.for_dataset(5, ndim=3, tau=60)
+        assert cfg.fanout == 1
+        assert cfg.level_thresholds == (60, 60, 60)
+
+    def test_default_tau_is_papers(self):
+        cfg = QuasiiConfig.for_dataset(10_000)
+        assert cfg.leaf_threshold == PAPER_TAU == 60
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            QuasiiConfig.for_dataset(0)
+        with pytest.raises(ConfigurationError):
+            QuasiiConfig.for_dataset(10, tau=0)
+        with pytest.raises(ConfigurationError):
+            QuasiiConfig.for_dataset(10, ndim=0)
+
+
+class TestExplicitLadder:
+    def test_figure4_configuration(self):
+        # The paper's 2d walk-through uses tau_x = 4, tau_y = 2.
+        cfg = QuasiiConfig(ndim=2, level_thresholds=(4, 2))
+        assert cfg.threshold(0) == 4
+        assert cfg.threshold(1) == 2
+
+    def test_threshold_out_of_range(self):
+        cfg = QuasiiConfig(ndim=2, level_thresholds=(4, 2))
+        with pytest.raises(ConfigurationError):
+            cfg.threshold(2)
+        with pytest.raises(ConfigurationError):
+            cfg.threshold(-1)
+
+    def test_rejects_increasing_ladder(self):
+        with pytest.raises(ConfigurationError, match="non-increasing"):
+            QuasiiConfig(ndim=2, level_thresholds=(2, 4))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            QuasiiConfig(ndim=3, level_thresholds=(4, 2))
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ConfigurationError):
+            QuasiiConfig(ndim=1, level_thresholds=(0,))

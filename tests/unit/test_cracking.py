@@ -1,0 +1,163 @@
+"""Unit tests for the cracking kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import crack, crack_values, partition_order, range_dim_stats
+from repro.datasets import BoxStore
+from repro.errors import ConfigurationError
+
+
+def make_store(keys: list[float]) -> BoxStore:
+    """1-d store whose lower coords are ``keys`` with extent 0.5 each."""
+    lo = np.array(keys, dtype=np.float64)[:, None]
+    return BoxStore(lo, lo + 0.5)
+
+
+class TestPartitionOrder:
+    def test_two_way(self):
+        keys = np.array([5.0, 1.0, 3.0, 9.0, 2.0])
+        order, sizes = partition_order(keys, [3.0])
+        assert sizes.tolist() == [2, 3]
+        rearranged = keys[order]
+        assert np.all(rearranged[:2] < 3.0)
+        assert np.all(rearranged[2:] >= 3.0)
+
+    def test_three_way(self):
+        keys = np.array([5.0, 1.0, 3.0, 9.0, 2.0, 7.0])
+        order, sizes = partition_order(keys, [3.0, 7.0])
+        rearranged = keys[order]
+        assert np.all(rearranged[: sizes[0]] < 3.0)
+        mid = rearranged[sizes[0] : sizes[0] + sizes[1]]
+        assert np.all((mid >= 3.0) & (mid < 7.0))
+        assert np.all(rearranged[sizes[0] + sizes[1] :] >= 7.0)
+
+    def test_stability(self):
+        keys = np.array([1.0, 1.0, 0.0, 1.0])
+        order, _ = partition_order(keys, [0.5])
+        # Equal keys keep their original relative order.
+        assert order.tolist() == [2, 0, 1, 3]
+
+    def test_boundary_key_goes_right(self):
+        order, sizes = partition_order(np.array([3.0]), [3.0])
+        assert sizes.tolist() == [0, 1], "'key < bound' convention"
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            partition_order(np.array([1.0]), [5.0, 2.0])
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ConfigurationError):
+            partition_order(np.array([1.0]), [])
+
+    def test_all_left_or_all_right(self):
+        keys = np.array([1.0, 2.0])
+        _, sizes = partition_order(keys, [10.0])
+        assert sizes.tolist() == [2, 0]
+        _, sizes = partition_order(keys, [0.0])
+        assert sizes.tolist() == [0, 2]
+
+
+class TestCrackStore:
+    def test_crack_reorders_physically(self):
+        store = make_store([5.0, 1.0, 3.0, 9.0, 2.0])
+        splits = crack(store, 0, 5, 0, [3.0])
+        assert splits == [2]
+        assert np.all(store.lo[:2, 0] < 3.0)
+        assert np.all(store.lo[2:, 0] >= 3.0)
+
+    def test_crack_subrange_leaves_rest_alone(self):
+        store = make_store([5.0, 1.0, 3.0, 9.0, 2.0])
+        before_first = store.box_at(0)
+        before_last = store.box_at(4)
+        crack(store, 1, 4, 0, [4.0])
+        assert store.box_at(0) == before_first
+        assert store.box_at(4) == before_last
+        assert np.all(store.lo[1:2, 0] < 4.0)
+
+    def test_crack_preserves_multiset(self):
+        store = make_store([5.0, 1.0, 3.0, 9.0, 2.0, 2.0, 8.0])
+        fp = store.fingerprint()
+        crack(store, 0, 7, 0, [2.0, 6.0])
+        assert store.fingerprint() == fp
+
+    def test_crack_three_way_splits(self):
+        store = make_store([5.0, 1.0, 3.0, 9.0, 2.0, 7.0])
+        splits = crack(store, 0, 6, 0, [3.0, 7.0])
+        assert splits == [2, 4]
+
+    def test_crack_on_higher_dim(self):
+        lo = np.array([[0.0, 5.0], [1.0, 1.0], [2.0, 3.0]])
+        store = BoxStore(lo, lo + 1.0)
+        splits = crack(store, 0, 3, 1, [3.0])
+        assert splits == [1]
+        assert store.lo[0, 1] == 1.0
+
+
+class TestCrackValues:
+    def test_basic(self):
+        values = np.array([5, 1, 3, 9, 2], dtype=np.uint64)
+        payload = np.arange(5)
+        split = crack_values(values, payload, 0, 5, 3)
+        assert split == 2
+        assert np.all(values[:2] < 3)
+        assert np.all(values[2:] >= 3)
+        # Payload permuted in lockstep.
+        assert sorted(payload.tolist()) == [0, 1, 2, 3, 4]
+        assert payload[0] in (1, 4) and payload[1] in (1, 4)
+
+    def test_subrange(self):
+        values = np.array([9, 5, 1, 3, 0], dtype=np.uint64)
+        payload = np.arange(5)
+        split = crack_values(values, payload, 1, 4, 4)
+        assert split == 3
+        assert values[0] == 9 and values[4] == 0
+
+
+class TestRangeDimStats:
+    def make(self):
+        lo = np.array([[1.0], [5.0], [3.0]])
+        hi = np.array([[2.0], [9.0], [3.5]])
+        return BoxStore(lo, hi)
+
+    def test_stats_lower(self):
+        kmin, kmax, dlo, dhi = range_dim_stats(self.make(), 0, 3, 0)
+        assert (kmin, kmax, dlo, dhi) == (1.0, 5.0, 1.0, 9.0)
+
+    def test_subrange(self):
+        kmin, kmax, dlo, dhi = range_dim_stats(self.make(), 1, 3, 0)
+        assert (kmin, kmax, dlo, dhi) == (3.0, 5.0, 3.0, 9.0)
+
+    def test_stats_upper(self):
+        kmin, kmax, dlo, dhi = range_dim_stats(self.make(), 0, 3, 0, "upper")
+        assert (kmin, kmax) == (2.0, 9.0)
+        assert (dlo, dhi) == (1.0, 9.0)
+
+    def test_stats_center(self):
+        kmin, kmax, dlo, dhi = range_dim_stats(self.make(), 0, 3, 0, "center")
+        assert (kmin, kmax) == (1.5, 7.0)
+        assert (dlo, dhi) == (1.0, 9.0)
+
+    def test_rejects_unknown_representative(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            range_dim_stats(self.make(), 0, 3, 0, "corner")
+
+
+class TestRepresentativeCrack:
+    def test_crack_on_center(self):
+        lo = np.array([[0.0], [4.0], [8.0]])
+        hi = np.array([[2.0], [6.0], [10.0]])  # centers 1, 5, 9
+        store = BoxStore(lo, hi)
+        splits = crack(store, 0, 3, 0, [5.0], representative="center")
+        assert splits == [1]  # only center 1 < 5
+
+    def test_crack_on_upper(self):
+        lo = np.array([[0.0], [4.0], [8.0]])
+        hi = np.array([[2.0], [6.0], [10.0]])
+        store = BoxStore(lo, hi)
+        splits = crack(store, 0, 3, 0, [7.0], representative="upper")
+        assert splits == [2]  # uppers 2 and 6 < 7

@@ -1,0 +1,107 @@
+"""Unit tests for the kNN extension (expanding-window search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import RTreeIndex, ScanIndex
+from repro.core import QuasiiIndex
+from repro.datasets import BoxStore, make_uniform
+from repro.errors import QueryError
+from repro.extensions import k_nearest
+from repro.extensions.knn import box_distances
+
+
+def brute_force_knn(ds, point, k):
+    pt = np.asarray(point)
+    dists = box_distances(ds.store.lo, ds.store.hi, pt)
+    order = np.lexsort((ds.store.ids, dists))
+    return [(int(ds.store.ids[i]), float(dists[i])) for i in order[:k]]
+
+
+class TestBoxDistances:
+    def test_point_inside_box_is_zero(self):
+        lo = np.array([[0.0, 0.0]])
+        hi = np.array([[2.0, 2.0]])
+        assert box_distances(lo, hi, np.array([1.0, 1.0]))[0] == 0.0
+
+    def test_axis_distance(self):
+        lo = np.array([[0.0, 0.0]])
+        hi = np.array([[1.0, 1.0]])
+        assert box_distances(lo, hi, np.array([3.0, 0.5]))[0] == pytest.approx(2.0)
+
+    def test_corner_distance(self):
+        lo = np.array([[0.0, 0.0]])
+        hi = np.array([[1.0, 1.0]])
+        d = box_distances(lo, hi, np.array([4.0, 5.0]))[0]
+        assert d == pytest.approx(5.0)  # 3-4-5 triangle
+
+
+class TestKNearest:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_brute_force_scan(self, k):
+        ds = make_uniform(2_000, seed=21)
+        index = ScanIndex(ds.store.copy())
+        point = (5000.0, 5000.0, 5000.0)
+        got = k_nearest(index, point, k)
+        expect = brute_force_knn(ds, point, k)
+        got_d = [d for _, d in got]
+        exp_d = [d for _, d in expect]
+        assert np.allclose(got_d, exp_d), "distances must match brute force"
+
+    def test_on_quasii_while_converging(self):
+        ds = make_uniform(5_000, seed=22)
+        index = QuasiiIndex(ds.store.copy())
+        point = (2000.0, 7000.0, 4000.0)
+        got = k_nearest(index, point, 10)
+        expect = brute_force_knn(ds, point, 10)
+        assert np.allclose([d for _, d in got], [d for _, d in expect])
+        index.validate_structure()
+
+    def test_on_rtree(self):
+        ds = make_uniform(3_000, seed=23)
+        index = RTreeIndex(ds.store.copy())
+        index.build()
+        point = (100.0, 100.0, 100.0)  # near a corner: forces expansion
+        got = k_nearest(index, point, 7)
+        expect = brute_force_knn(ds, point, 7)
+        assert np.allclose([d for _, d in got], [d for _, d in expect])
+
+    def test_results_sorted_by_distance(self):
+        ds = make_uniform(1_000, seed=24)
+        got = k_nearest(ScanIndex(ds.store.copy()), (5000.0,) * 3, 20)
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+
+    def test_k_equals_n(self):
+        ds = make_uniform(50, seed=25)
+        got = k_nearest(ScanIndex(ds.store.copy()), (0.0,) * 3, 50)
+        assert len(got) == 50
+        assert len({i for i, _ in got}) == 50
+
+    def test_point_on_top_of_object(self):
+        lo = np.array([[1.0, 1.0], [10.0, 10.0]])
+        store = BoxStore(lo, lo + 1.0)
+        got = k_nearest(ScanIndex(store), (1.5, 1.5), 1)
+        assert got[0] == (0, 0.0)
+
+    def test_rejects_bad_args(self):
+        ds = make_uniform(10, seed=26)
+        index = ScanIndex(ds.store.copy())
+        with pytest.raises(QueryError):
+            k_nearest(index, (0.0, 0.0), 1)  # wrong dimensionality
+        with pytest.raises(QueryError):
+            k_nearest(index, (0.0,) * 3, 0)
+        with pytest.raises(QueryError):
+            k_nearest(index, (0.0,) * 3, 11)
+        with pytest.raises(QueryError):
+            k_nearest(index, (0.0,) * 3, 1, growth=1.0)
+
+    def test_quasii_knn_consistency_with_repeats(self):
+        # The kNN queries refine the index; repeated calls must agree.
+        ds = make_uniform(2_000, seed=27)
+        index = QuasiiIndex(ds.store.copy())
+        first = k_nearest(index, (5000.0,) * 3, 5)
+        second = k_nearest(index, (5000.0,) * 3, 5)
+        assert np.allclose([d for _, d in first], [d for _, d in second])

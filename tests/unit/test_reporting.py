@@ -1,0 +1,52 @@
+"""Unit tests for report rendering."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentReport, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"], [["alpha", "1.5"], ["b", "100"]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "alpha" in lines[2]
+        assert lines[3].endswith("100")
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["h"], [["a-very-long-cell-value"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) >= len("a-very-long-cell-value")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestExperimentReport:
+    def test_add_table_stringifies(self):
+        report = ExperimentReport("x", "desc")
+        report.add_table("t", ["a"], [[1.23456], [12345.6], [0.000123], [0]])
+        rows = report.tables[0].rows
+        assert rows[0] == ["1.235"]
+        assert rows[1] == ["12,346"]
+        assert rows[2] == ["0.00012"]
+        assert rows[3] == ["0"]
+
+    def test_render_includes_everything(self):
+        report = ExperimentReport("expX", "the description")
+        report.add_table("tbl", ["h1"], [["v1"]])
+        report.add_note("a note")
+        text = report.render()
+        assert "expX: the description" in text
+        assert "-- tbl" in text
+        assert "v1" in text
+        assert "* a note" in text
+
+    def test_render_without_notes(self):
+        report = ExperimentReport("e", "d")
+        report.add_table("t", ["h"], [["v"]])
+        assert "* " not in report.render()

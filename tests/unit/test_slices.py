@@ -1,0 +1,101 @@
+"""Unit tests for the Slice/SliceList structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.slices import Slice, SliceList
+from repro.datasets import BoxStore
+
+INF = float("inf")
+
+
+def make_slice(level=0, begin=0, end=4, cut_lo=-INF, d=2):
+    return Slice(
+        level, begin, end, cut_lo, np.full(d, -INF), np.full(d, INF)
+    )
+
+
+class TestSlice:
+    def test_size(self):
+        assert make_slice(begin=3, end=9).size == 6
+
+    def test_open_mbb_intersects_everything(self):
+        s = make_slice()
+        assert s.intersects(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert s.intersects(np.array([-1e18, 0.0]), np.array([-1e17, 0.0]))
+
+    def test_partial_mbb_prunes_on_known_dim(self):
+        s = make_slice()
+        s.mbb_lo[0], s.mbb_hi[0] = 10.0, 20.0
+        assert not s.intersects(np.array([0.0, 0.0]), np.array([5.0, 5.0]))
+        assert s.intersects(np.array([15.0, -1e9]), np.array([16.0, 1e9]))
+
+    def test_touching_mbb_intersects(self):
+        s = make_slice()
+        s.mbb_lo[:] = [0.0, 0.0]
+        s.mbb_hi[:] = [1.0, 1.0]
+        assert s.intersects(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+
+    def test_finalize_mbb(self):
+        lo = np.array([[0.0, 5.0], [2.0, 1.0], [4.0, 3.0]])
+        store = BoxStore(lo, lo + 1.0)
+        s = make_slice(begin=1, end=3)
+        s.finalize_mbb(store)
+        assert np.array_equal(s.mbb_lo, [2.0, 1.0])
+        assert np.array_equal(s.mbb_hi, [5.0, 4.0])
+
+
+class TestSliceList:
+    def make_list(self):
+        slices = [
+            make_slice(begin=0, end=2, cut_lo=-INF),
+            make_slice(begin=2, end=5, cut_lo=3.0),
+            make_slice(begin=5, end=9, cut_lo=7.0),
+        ]
+        return SliceList(0, slices)
+
+    def test_find_start_before_everything(self):
+        lst = self.make_list()
+        assert lst.find_start(-1e18) == 0
+
+    def test_find_start_inside(self):
+        lst = self.make_list()
+        assert lst.find_start(4.5) == 1
+        assert lst.find_start(7.0) == 2
+
+    def test_find_start_boundary_value(self):
+        lst = self.make_list()
+        # Value exactly at a cut bound starts at the slice owning it.
+        assert lst.find_start(3.0) == 1
+
+    def test_find_start_past_everything(self):
+        lst = self.make_list()
+        assert lst.find_start(1e18) == 2
+
+    def test_replace_keeps_order(self):
+        lst = self.make_list()
+        subs = [
+            make_slice(begin=2, end=3, cut_lo=3.0),
+            make_slice(begin=3, end=5, cut_lo=5.0),
+        ]
+        lst.replace(1, subs)
+        assert len(lst) == 4
+        assert [s.cut_lo for s in lst] == [-INF, 3.0, 5.0, 7.0]
+        assert lst.find_start(6.0) == 2
+
+    def test_replace_with_single(self):
+        lst = self.make_list()
+        sub = make_slice(begin=2, end=5, cut_lo=3.5)
+        lst.replace(1, [sub])
+        assert len(lst) == 3
+        assert lst[1].cut_lo == 3.5
+
+    def test_iteration_and_indexing(self):
+        lst = self.make_list()
+        assert [s.begin for s in lst] == [0, 2, 5]
+        assert lst[2].end == 9
+
+    def test_memory_bytes_positive(self):
+        assert self.make_list().memory_bytes() > 0

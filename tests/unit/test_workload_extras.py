@@ -1,0 +1,88 @@
+"""Unit tests for sequential workloads and workload persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, QueryError
+from repro.geometry import Box
+from repro.queries import (
+    load_workload,
+    save_workload,
+    sequential_workload,
+    uniform_workload,
+)
+
+
+class TestSequentialWorkload:
+    UNIVERSE = Box((0.0,) * 3, (1000.0,) * 3)
+
+    def test_count_and_bounds(self):
+        qs = sequential_workload(self.UNIVERSE, 20, 1e-3, seed=1)
+        assert len(qs) == 20
+        for q in qs:
+            assert self.UNIVERSE.contains_box(q.window)
+
+    def test_sweep_is_monotone_along_dim(self):
+        qs = sequential_workload(self.UNIVERSE, 8, 1e-3, dim=0, seed=2)
+        starts = [q.window.lo[0] for q in qs]
+        assert starts == sorted(starts), "pre-wrap sweep must move forward"
+
+    def test_disjoint_steps_do_not_overlap(self):
+        qs = sequential_workload(self.UNIVERSE, 5, 1e-3, overlap=0.0, seed=3)
+        for a, b in zip(qs, qs[1:]):
+            assert a.window.hi[0] <= b.window.lo[0] + 1e-9
+
+    def test_half_overlap_shares_half_a_side(self):
+        qs = sequential_workload(self.UNIVERSE, 5, 1e-3, overlap=0.5, seed=4)
+        side = qs[0].window.hi[0] - qs[0].window.lo[0]
+        step = qs[1].window.lo[0] - qs[0].window.lo[0]
+        assert step == pytest.approx(side / 2)
+
+    def test_off_sweep_dims_fixed(self):
+        qs = sequential_workload(self.UNIVERSE, 10, 1e-3, dim=1, seed=5)
+        assert len({q.window.lo[0] for q in qs}) == 1
+        assert len({q.window.lo[2] for q in qs}) == 1
+        assert len({q.window.lo[1] for q in qs}) == 10
+
+    def test_long_sweep_wraps_around(self):
+        qs = sequential_workload(self.UNIVERSE, 300, 1e-3, seed=6)
+        starts = [q.window.lo[0] for q in qs]
+        assert min(starts) < 100.0 and max(starts) > 800.0
+        assert starts != sorted(starts), "a long sweep must wrap"
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            sequential_workload(self.UNIVERSE, 0)
+        with pytest.raises(ConfigurationError):
+            sequential_workload(self.UNIVERSE, 5, overlap=1.0)
+        with pytest.raises(ConfigurationError):
+            sequential_workload(self.UNIVERSE, 5, dim=3)
+
+
+class TestWorkloadIO:
+    def test_round_trip(self, tmp_path):
+        universe = Box((0.0,) * 3, (100.0,) * 3)
+        qs = uniform_workload(universe, 12, 1e-2, seed=7)
+        path = save_workload(qs, tmp_path / "wl")
+        assert path.suffix == ".npz"
+        loaded = load_workload(path)
+        assert len(loaded) == 12
+        for a, b in zip(qs, loaded):
+            assert a.window == b.window
+            assert a.seq == b.seq
+
+    def test_empty_workload_rejected(self, tmp_path):
+        with pytest.raises(QueryError):
+            save_workload([], tmp_path / "x.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(QueryError, match="not found"):
+            load_workload(tmp_path / "nope.npz")
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, unrelated=np.arange(4))
+        with pytest.raises(QueryError, match="not a repro workload"):
+            load_workload(path)

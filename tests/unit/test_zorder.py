@@ -1,0 +1,165 @@
+"""Unit tests for the Z-order substrate: codes and range decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sfc import (
+    ZGrid,
+    adaptive_min_size,
+    morton_decode,
+    morton_encode,
+    zrange_decompose,
+)
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry import Box
+
+
+class TestMortonCodes:
+    def test_known_2d_codes(self):
+        # With dim 0 most significant per bit group:
+        # (0,0)->0, (0,1)->1, (1,0)->2, (1,1)->3 at 1 bit.
+        cells = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        codes = morton_encode(cells, bits=1)
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_known_2d_codes_two_bits(self):
+        # Cell (2, 1) = binary x=10, y=01 -> interleave (x1 y1 x0 y0) = 1001 = 9.
+        codes = morton_encode(np.array([[2, 1]]), bits=2)
+        assert codes.tolist() == [9]
+
+    def test_round_trip_3d(self):
+        rng = np.random.default_rng(1)
+        cells = rng.integers(0, 1024, size=(500, 3))
+        codes = morton_encode(cells, bits=10)
+        back = morton_decode(codes, ndim=3, bits=10)
+        assert np.array_equal(back, cells)
+
+    def test_codes_unique_per_cell(self):
+        cells = np.array([[x, y] for x in range(8) for y in range(8)])
+        codes = morton_encode(cells, bits=3)
+        assert len(set(codes.tolist())) == 64
+        assert codes.max() == 63
+
+    def test_locality_of_consecutive_codes(self):
+        # Decoding consecutive codes yields cells that are close: the curve
+        # step distance is 1 in exactly one dimension half the time.
+        codes = np.arange(64, dtype=np.uint64)
+        cells = morton_decode(codes, ndim=2, bits=3)
+        steps = np.abs(np.diff(cells, axis=0)).sum(axis=1)
+        assert np.median(steps) <= 2
+
+    def test_rejects_out_of_range_cells(self):
+        with pytest.raises(GeometryError):
+            morton_encode(np.array([[1024, 0, 0]]), bits=10)
+        with pytest.raises(GeometryError):
+            morton_encode(np.array([[-1, 0]]), bits=10)
+
+    def test_rejects_code_overflow(self):
+        with pytest.raises(ConfigurationError):
+            morton_encode(np.zeros((1, 3), dtype=int), bits=22)
+
+
+class TestZGrid:
+    def test_cells_of_corners(self):
+        grid = ZGrid(Box((0.0, 0.0), (100.0, 100.0)), bits=4)
+        cells = grid.cells_of(np.array([[0.0, 0.0], [99.9999, 99.9999]]))
+        assert cells[0].tolist() == [0, 0]
+        assert cells[1].tolist() == [15, 15]
+
+    def test_out_of_universe_clamped(self):
+        grid = ZGrid(Box((0.0, 0.0), (10.0, 10.0)), bits=3)
+        cells = grid.cells_of(np.array([[-5.0, 20.0]]))
+        assert cells[0].tolist() == [0, 7]
+
+    def test_codes_of_matches_encode(self):
+        grid = ZGrid(Box((0.0, 0.0), (8.0, 8.0)), bits=3)
+        pts = np.array([[1.5, 6.5]])
+        assert grid.codes_of(pts)[0] == morton_encode(grid.cells_of(pts), 3)[0]
+
+    def test_rejects_degenerate_universe(self):
+        with pytest.raises(GeometryError):
+            ZGrid(Box((0.0, 0.0), (0.0, 10.0)), bits=3)
+
+
+class TestDecomposition:
+    def decode_interval_cells(self, intervals, ndim, bits):
+        cells = []
+        for lo, hi in intervals:
+            codes = np.arange(lo, hi + 1, dtype=np.uint64)
+            cells.append(morton_decode(codes, ndim, bits))
+        return np.concatenate(cells)
+
+    def test_exact_cover_small_window(self):
+        q_lo = np.array([2, 3])
+        q_hi = np.array([5, 6])
+        intervals = zrange_decompose(q_lo, q_hi, ndim=2, bits=3)
+        cells = self.decode_interval_cells(intervals, 2, 3)
+        expected = {(x, y) for x in range(2, 6) for y in range(3, 7)}
+        assert {tuple(c) for c in cells} == expected
+
+    def test_intervals_disjoint_and_sorted(self):
+        intervals = zrange_decompose(np.array([1, 1]), np.array([6, 6]), 2, 3)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(intervals, intervals[1:]):
+            assert a_hi < b_lo, "intervals must be disjoint and ordered"
+            assert a_hi >= a_lo
+
+    def test_full_space_is_one_interval(self):
+        intervals = zrange_decompose(np.array([0, 0]), np.array([7, 7]), 2, 3)
+        assert intervals == [(0, 63)]
+
+    def test_single_cell(self):
+        intervals = zrange_decompose(np.array([3, 5]), np.array([3, 5]), 2, 3)
+        assert len(intervals) == 1
+        lo, hi = intervals[0]
+        assert lo == hi
+        assert morton_decode(np.array([lo], dtype=np.uint64), 2, 3)[0].tolist() == [3, 5]
+
+    def test_coarsening_is_superset(self):
+        q_lo = np.array([3, 3])
+        q_hi = np.array([12, 12])
+        exact = zrange_decompose(q_lo, q_hi, 2, 4, min_size=1)
+        coarse = zrange_decompose(q_lo, q_hi, 2, 4, min_size=4)
+        exact_cells = {tuple(c) for c in self.decode_interval_cells(exact, 2, 4)}
+        coarse_cells = {tuple(c) for c in self.decode_interval_cells(coarse, 2, 4)}
+        assert exact_cells <= coarse_cells, "coarsening may only add cells"
+        assert len(coarse) <= len(exact)
+
+    def test_3d_cover(self):
+        q_lo = np.array([1, 2, 3])
+        q_hi = np.array([3, 4, 5])
+        intervals = zrange_decompose(q_lo, q_hi, 3, 3)
+        cells = self.decode_interval_cells(intervals, 3, 3)
+        expected = {
+            (x, y, z)
+            for x in range(1, 4)
+            for y in range(2, 5)
+            for z in range(3, 6)
+        }
+        assert {tuple(c) for c in cells} == expected
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(GeometryError):
+            zrange_decompose(np.array([5, 5]), np.array([1, 1]), 2, 3)
+
+    def test_rejects_bad_min_size(self):
+        with pytest.raises(ConfigurationError):
+            zrange_decompose(np.array([0, 0]), np.array([1, 1]), 2, 3, min_size=0)
+
+
+class TestAdaptiveMinSize:
+    def test_small_window_full_resolution(self):
+        assert adaptive_min_size(np.array([0, 0]), np.array([10, 10])) == 1
+
+    def test_large_window_coarsens(self):
+        size = adaptive_min_size(np.array([0, 0, 0]), np.array([511, 511, 511]))
+        assert size >= 32
+        assert size & (size - 1) == 0, "must be a power of two"
+
+    def test_monotone_in_span(self):
+        sizes = [
+            adaptive_min_size(np.array([0]), np.array([span]))
+            for span in (1, 10, 100, 1000)
+        ]
+        assert sizes == sorted(sizes)
