@@ -1,0 +1,8 @@
+"""Mixed read/write workloads: throughput and the update counters
+(inserts/deletes/merges) across write ratios, with Scan as the
+correctness oracle — the update subsystem's headline scenario (updates
+are future work in the paper)."""
+
+
+def test_mixed_workload(benchmark, smoke_scale, regenerate):
+    regenerate(benchmark, "mixed-workload", smoke_scale)

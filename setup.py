@@ -1,8 +1,9 @@
 """Legacy setup shim.
 
 All metadata lives in pyproject.toml; this file only exists so that
-``pip install -e .`` works in offline environments lacking the ``wheel``
-package (pip then falls back to ``setup.py develop``).
+offline environments lacking the ``wheel`` package can still get an
+editable install via ``python setup.py develop`` (modern
+``pip install -e .`` requires a PEP 660 build, which needs ``wheel``).
 """
 
 from setuptools import setup

@@ -37,12 +37,20 @@ from repro.datasets import (
 )
 from repro.extensions import k_nearest
 from repro.geometry import Box
-from repro.index import IndexStats, SpatialIndex
+from repro.index import IndexStats, MutableSpatialIndex, SpatialIndex
 from repro.queries import (
     RangeQuery,
+    WorkloadOp,
     clustered_workload,
+    mixed_workload,
     selectivity_sweep,
     uniform_workload,
+)
+from repro.updates import (
+    MixedRunResult,
+    UpdateBuffer,
+    UpdateLedger,
+    run_mixed_workload,
 )
 
 __version__ = "1.0.0"
@@ -53,7 +61,9 @@ __all__ = [
     "BoxStore",
     "Dataset",
     "IndexStats",
+    "MixedRunResult",
     "MosaicIndex",
+    "MutableSpatialIndex",
     "QuasiiConfig",
     "QuasiiIndex",
     "RTreeIndex",
@@ -63,6 +73,9 @@ __all__ = [
     "ScanIndex",
     "SpatialIndex",
     "UniformGridIndex",
+    "UpdateBuffer",
+    "UpdateLedger",
+    "WorkloadOp",
     "__version__",
     "clustered_workload",
     "k_nearest",
@@ -71,6 +84,8 @@ __all__ = [
     "make_neuro_like",
     "make_points",
     "make_uniform",
+    "mixed_workload",
+    "run_mixed_workload",
     "save_dataset",
     "selectivity_sweep",
     "uniform_workload",

@@ -37,15 +37,25 @@ class GuttmanRTree:
         Backing store; inserted entries are store row indices.
     capacity:
         Maximum entries per node; nodes split (quadratically) beyond it.
+    root:
+        Optional existing tree to insert into — this is how the static
+        STR-built R-Tree absorbs dynamic inserts (the classic R-Tree is
+        an update-friendly structure; only its *bulk construction* was
+        static in the paper).
     """
 
-    def __init__(self, store: BoxStore, capacity: int = 60) -> None:
+    def __init__(
+        self,
+        store: BoxStore,
+        capacity: int = 60,
+        root: RTreeNode | None = None,
+    ) -> None:
         if capacity < 2:
             raise ConfigurationError(f"capacity must be >= 2, got {capacity}")
         self._store = store
         self._capacity = capacity
         self._min_fill = max(1, capacity // 3)
-        self._root: RTreeNode | None = None
+        self._root: RTreeNode | None = root
 
     @property
     def root(self) -> RTreeNode | None:

@@ -4,6 +4,13 @@
 for the ablation comparing against one-at-a-time construction — Guttman
 insertion.  Queries walk the tree depth-first, pruning all children of a
 node with one vectorized MBR intersection test.
+
+Updates (beyond the paper): the R-Tree is the classic dynamic spatial
+structure, so inserts take the direct path — each appended row is placed
+by Guttman ChooseLeaf/quadratic-split insertion into the existing
+(STR-built) tree.  Deletes are store-level tombstones filtered during
+leaf scans; dead rows stay in their leaves (MBRs become conservative,
+never wrong) until a rebuild.
 """
 
 from __future__ import annotations
@@ -16,11 +23,11 @@ from repro.baselines.rtree.str_bulkload import build_str_rtree
 from repro.datasets.store import BoxStore
 from repro.errors import ConfigurationError, QueryError
 from repro.geometry.predicates import boxes_intersect_window
-from repro.index.base import SpatialIndex
+from repro.index.base import MutableSpatialIndex
 from repro.queries.range_query import RangeQuery
 
 
-class RTreeIndex(SpatialIndex):
+class RTreeIndex(MutableSpatialIndex):
     """Static R-Tree over a :class:`BoxStore`.
 
     Parameters
@@ -63,6 +70,10 @@ class RTreeIndex(SpatialIndex):
         """Construct the tree — the static pre-processing the paper times."""
         if self._built:
             return
+        if self._store.n == 0:
+            # Start-empty-then-insert: the first insert creates the root.
+            self._built = True
+            return
         if self._method == "str":
             work = [0]
             self._root = build_str_rtree(self._store, self._capacity, work)
@@ -75,6 +86,8 @@ class RTreeIndex(SpatialIndex):
 
     def _query(self, query: RangeQuery) -> np.ndarray:
         if self._root is None:
+            if self._built:
+                return np.empty(0, dtype=np.int64)  # built empty, no inserts yet
             raise QueryError("R-Tree queried before build(); call build() first")
         out: list[np.ndarray] = []
         stack = [self._root]
@@ -88,6 +101,8 @@ class RTreeIndex(SpatialIndex):
                 mask = boxes_intersect_window(
                     store.lo[rows], store.hi[rows], query.lo, query.hi
                 )
+                if store.n_dead:
+                    mask &= store.live[rows]
                 if mask.any():
                     out.append(store.ids[rows[mask]])
             else:
@@ -100,9 +115,28 @@ class RTreeIndex(SpatialIndex):
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
 
+    def _insert(
+        self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None
+    ) -> np.ndarray:
+        """Direct insert: Guttman-place each appended row into the tree.
+
+        Before ``build()`` the rows simply join the store and are swept
+        up by the bulk load.
+        """
+        first_row = self._store.n
+        assigned = self._store.append_validated(lo, hi, ids)
+        if self._built and assigned.size:
+            inserter = GuttmanRTree(self._store, self._capacity, root=self._root)
+            for row in range(first_row, self._store.n):
+                inserter.insert(row)
+            self._root = inserter.root
+        return assigned
+
     def height(self) -> int:
-        """Tree height (levels)."""
+        """Tree height (levels); 0 for a built-but-empty tree."""
         if self._root is None:
+            if self._built:
+                return 0
             raise QueryError("R-Tree not built yet")
         return self._root.height()
 

@@ -3,7 +3,10 @@
 Every query tests all ``n`` objects.  The paper uses Scan both as the
 data-to-insight yardstick (the first answer arrives after exactly one pass
 over the data, with zero preparation) and as the flat reference line in
-every convergence plot.
+every convergence plot.  Under mixed read/write workloads it doubles as
+the correctness oracle: with no structure to maintain, an insert is a
+plain store append and a delete a plain tombstone, so its answers are
+the live-row ground truth by construction.
 """
 
 from __future__ import annotations
@@ -11,11 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.store import BoxStore
-from repro.index.base import SpatialIndex
+from repro.index.base import MutableSpatialIndex
 from repro.queries.range_query import RangeQuery
 
 
-class ScanIndex(SpatialIndex):
+class ScanIndex(MutableSpatialIndex):
     """Answer queries by a single vectorized pass over the whole store."""
 
     name = "Scan"
@@ -30,3 +33,9 @@ class ScanIndex(SpatialIndex):
     def _query(self, query: RangeQuery) -> np.ndarray:
         self.stats.objects_tested += self._store.n
         return self._store.scan_range(0, self._store.n, query.lo, query.hi)
+
+    def _insert(
+        self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None
+    ) -> np.ndarray:
+        """Appended rows are scanned like any others — nothing to update."""
+        return self._store.append_validated(lo, hi, ids)

@@ -15,6 +15,17 @@ The index is built *as a side effect of query execution*.  Each query:
 The hierarchy converges toward an STR-like tiling of exactly the regions
 queries touch; untouched regions stay coarse (a single unsorted run of the
 data array).
+
+Updates (beyond the paper — Section 7 leaves them as future work):
+inserts are staged in an :class:`~repro.updates.buffer.UpdateBuffer` and
+merged lazily: the next query drains the buffer into the store as an
+appended run headed by a fresh coarse top-level slice, which the normal
+Algorithm 1/2 machinery then cracks exactly like any unrefined region.
+The index therefore maintains a *forest* of top-level slice lists — the
+original hierarchy plus one per absorbed run — each converging
+independently under the queries that touch it.  Deletes tombstone rows in
+place (slice ranges stay valid; leaf scans skip dead rows via the store's
+live mask).
 """
 
 from __future__ import annotations
@@ -31,14 +42,15 @@ from repro.core.cracking import (
 )
 from repro.core.slices import Slice, SliceList
 from repro.datasets.store import BoxStore
-from repro.errors import ConfigurationError
-from repro.index.base import SpatialIndex
+from repro.errors import ConfigurationError, DatasetError
+from repro.index.base import MutableSpatialIndex
 from repro.queries.range_query import RangeQuery
+from repro.updates.buffer import UpdateBuffer
 
 _INF = float("inf")
 
 
-class QuasiiIndex(SpatialIndex):
+class QuasiiIndex(MutableSpatialIndex):
     """The paper's core contribution, over a shared :class:`BoxStore`.
 
     Parameters
@@ -64,6 +76,12 @@ class QuasiiIndex(SpatialIndex):
         ``"median"`` (data-balanced like STR's equal-count tiles, at the
         price of a selection pass).  The ``ablation-split`` bench compares
         them.
+    max_runs:
+        Cap on appended insert runs kept as separate top-level slice
+        lists.  Past it, all appended runs collapse back into one coarse
+        run (their refinement is discarded and re-earned by later
+        queries), bounding the per-query forest walk under sustained
+        ingestion.
 
     Examples
     --------
@@ -87,10 +105,16 @@ class QuasiiIndex(SpatialIndex):
         tau: int = PAPER_TAU,
         representative: str = "lower",
         artificial_split: str = "midpoint",
+        max_runs: int = 8,
     ) -> None:
         super().__init__(store)
+        if max_runs < 1:
+            raise ConfigurationError(f"max_runs must be >= 1, got {max_runs}")
+        self._max_runs = int(max_runs)
         if config is None:
-            config = QuasiiConfig.for_dataset(store.n, store.ndim, tau)
+            # An empty store (start-empty-then-insert) gets the minimal
+            # ladder; it only ever grows via absorbed insert runs.
+            config = QuasiiConfig.for_dataset(max(store.n, 1), store.ndim, tau)
         if config.ndim != store.ndim:
             raise ValueError(
                 f"config is for {config.ndim} dims, store has {store.ndim}"
@@ -108,10 +132,21 @@ class QuasiiIndex(SpatialIndex):
         self._config = config
         self._representative = representative
         self._artificial_split = artificial_split
-        # Query extension margin: fixed per-dimension maximum object extent
-        # (Stefanakis et al.); measured once, the dataset is static.
+        # Query extension margin: per-dimension maximum object extent
+        # (Stefanakis et al.); refreshed whenever an absorbed insert run
+        # contains a larger object (growing it is conservative-safe).
         self._max_extent = store.max_extent.copy()
-        self._top = SliceList(0, [self._make_slice(0, 0, store.n, -_INF)])
+        # The slice forest: the main hierarchy over the initial rows plus
+        # one top-level list per absorbed insert run, in row order.  An
+        # empty store starts with an empty forest; the first absorbed run
+        # becomes its root.
+        self._tops: list[SliceList] = (
+            [SliceList(0, [self._make_slice(0, 0, store.n, -_INF)])]
+            if store.n
+            else []
+        )
+        # Pending inserts, drained into the store by the next query.
+        self._buffer = UpdateBuffer(store)
 
     # ------------------------------------------------------------------
     # Public surface
@@ -125,6 +160,16 @@ class QuasiiIndex(SpatialIndex):
     def representative(self) -> str:
         """The slice-assignment representative in use."""
         return self._representative
+
+    @property
+    def _top(self) -> SliceList:
+        """The main hierarchy (over the store's initial rows)."""
+        return self._tops[0]
+
+    @property
+    def runs(self) -> int:
+        """Number of top-level slice lists (1 + absorbed insert runs)."""
+        return len(self._tops)
 
     def _extended_bounds(self, query: RangeQuery, dim: int) -> tuple[float, float]:
         """Query range on ``dim`` extended for the chosen representative.
@@ -148,11 +193,107 @@ class QuasiiIndex(SpatialIndex):
         self._built = True
 
     def _query(self, query: RangeQuery) -> np.ndarray:
+        if len(self._buffer):
+            self._absorb_pending()
         out: list[np.ndarray] = []
-        self._query_level(self._top, query, out)
+        for top in self._tops:
+            self._query_level(top, query, out)
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
+
+    # ------------------------------------------------------------------
+    # Updates: staged inserts, lazy merge, tombstone deletes
+    # ------------------------------------------------------------------
+    def _insert(
+        self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None
+    ) -> np.ndarray:
+        """Stage the batch; it reaches the hierarchy on the next query."""
+        if ids is not None and np.isin(ids, self._buffer.ids).any():
+            raise DatasetError(
+                "inserted ids collide with still-buffered inserts"
+            )
+        return self._buffer.add(lo, hi, ids)
+
+    def _delete(self, ids: np.ndarray) -> int:
+        """Tombstone rows in place; still-buffered targets just vanish.
+
+        All-or-nothing: the store half of the batch is applied (and
+        validated — unknown ids raise there) *before* the buffer half is
+        discarded, so a failed delete leaves staged rows intact.
+        """
+        staged_mask = np.isin(ids, self._buffer.ids)
+        count = 0
+        remaining = ids[~staged_mask]
+        if remaining.size:
+            count += self._store.delete_ids(remaining)
+        count += int(self._buffer.discard(ids[staged_mask]).size)
+        return count
+
+    def pending_updates(self) -> int:
+        """Staged rows not yet merged into the slice forest."""
+        return len(self._buffer)
+
+    def _absorb_pending(self) -> None:
+        """Drain the buffer into the store as a coarse appended run.
+
+        This is the lazy merge: the run joins the forest as one unrefined
+        top-level slice (or extends the previous run while that is still
+        virgin), and subsequent queries crack it via Algorithm 2 exactly
+        like any other coarse region — the insert path reuses the paper's
+        own refinement machinery instead of adding a second one.
+        """
+        lo, hi, ids = self._buffer.drain()
+        begin = self._store.n
+        try:
+            self._store.append_validated(lo, hi, ids)
+        except Exception:
+            # Never lose a staged batch: insert() pre-validates, so this
+            # is a can't-happen guard, but re-stage before propagating.
+            self._buffer.add(lo, hi, ids)
+            raise
+        self._seen_epoch = self._store.epoch
+        end = self._store.n
+        self._max_extent = np.maximum(self._max_extent, self._store.max_extent)
+        tail_list = self._tops[-1] if self._tops else None
+        tail = tail_list.slices[-1] if tail_list is not None else None
+        if (
+            tail_list is not None
+            and len(tail_list) == 1
+            and tail.children is None
+            and tail.cut_lo == -_INF
+        ):
+            # The previous run is still one uncracked slice holding the
+            # whole key range: coalesce into it (union the recorded MBB
+            # over the batch, then re-check the threshold) instead of
+            # growing the forest — consecutive insert batches pile into a
+            # single coarse run until a query cracks it.
+            tail.end = end
+            tail.mbb_lo = np.minimum(tail.mbb_lo, lo.min(axis=0))
+            tail.mbb_hi = np.maximum(tail.mbb_hi, hi.max(axis=0))
+            tail.final = False
+            self._maybe_finalize(tail)
+        else:
+            self._tops.append(
+                SliceList(0, [self._make_slice(0, begin, end, -_INF)])
+            )
+            if len(self._tops) - 1 > self._max_runs:
+                self._collapse_runs()
+        self.stats.merges += 1
+
+    def _collapse_runs(self) -> None:
+        """Defragment: fold every appended run back into one coarse run.
+
+        Appended runs occupy contiguous tail rows, so a single open
+        top-level slice over their union is always structurally valid;
+        the refinement they had accumulated is discarded and re-earned by
+        the queries that still need it.  This bounds the per-query forest
+        walk at ``max_runs + 1`` MBB tests plus the main hierarchy.
+        """
+        begin = self._tops[1].slices[0].begin
+        end = self._tops[-1].slices[-1].end
+        del self._tops[1:]
+        self._tops.append(SliceList(0, [self._make_slice(0, begin, end, -_INF)]))
 
     # ------------------------------------------------------------------
     # Algorithm 1: query processing
@@ -405,13 +546,18 @@ class QuasiiIndex(SpatialIndex):
                 if s.children is not None:
                     walk(s.children, depth + 1)
 
-        walk(self._top, 0)
+        for run_idx, top in enumerate(self._tops):
+            if run_idx:
+                lines.append(f"-- appended run {run_idx}")
+            walk(top, 0)
+        if len(self._buffer):
+            lines.append(f"-- update buffer: {len(self._buffer)} pending rows")
         return "\n".join(lines)
 
     def slice_counts(self) -> list[int]:
         """Number of materialized slices per level (index growth measure)."""
         counts = [0] * self._config.ndim
-        stack: list[SliceList] = [self._top]
+        stack: list[SliceList] = list(self._tops)
         while stack:
             lst = stack.pop()
             counts[lst.level] += len(lst)
@@ -421,9 +567,9 @@ class QuasiiIndex(SpatialIndex):
         return counts
 
     def memory_bytes(self) -> int:
-        """Approximate footprint of the slice hierarchy."""
-        total = 0
-        stack: list[SliceList] = [self._top]
+        """Approximate footprint of the slice forest plus the update buffer."""
+        total = self._buffer.memory_bytes()
+        stack: list[SliceList] = list(self._tops)
         while stack:
             lst = stack.pop()
             total += lst.memory_bytes()
@@ -439,7 +585,10 @@ class QuasiiIndex(SpatialIndex):
         sibling ranges tile the parent contiguously in order; cut bounds
         strictly increase and bracket the member keys; recorded MBBs cover
         members (exactly for final slices); thresholds hold for final
-        slices; levels are consistent.
+        slices; levels are consistent; the forest's runs tile the whole
+        store.  Tombstoned rows participate in every structural check
+        (they stay physically in place), so the invariants are unaffected
+        by deletes.
         """
         d = self._config.ndim
         store = self._store
@@ -488,4 +637,9 @@ class QuasiiIndex(SpatialIndex):
                 )
                 assert np.all(keys < right.cut_lo), "key spills past cut bound"
 
-        check_list(self._top, 0, store.n)
+        cursor = 0
+        for top in self._tops:
+            run_end = top.slices[-1].end
+            check_list(top, cursor, run_end)
+            cursor = run_end
+        assert cursor == store.n, "slice forest does not cover the store"

@@ -8,8 +8,31 @@ identifiers.  Incremental indexes (QUASII, SFCracker, Mosaic) permute rows
 in place; static indexes either reorder a copy at build time (SFC, STR
 leaf packing) or reference rows by position (grid, R-Tree).
 
-Only permutations are ever applied — a store's multiset of ``(id, box)``
-rows is invariant under any query sequence, which the test suite enforces.
+Mutation model
+--------------
+The store supports exactly three mutations, and every index/test invariant
+is phrased against them:
+
+* **Permutation** (:meth:`apply_order_range`) — the cracking primitive.
+  Queries may only permute; the multiset of physical rows is invariant
+  under any query sequence, which the test suite enforces.
+* **Append** (:meth:`append`) — new rows join at the tail with fresh (or
+  caller-supplied) identifiers.  Existing row positions never move, so
+  position-referencing indexes (grid, R-Tree) stay valid.
+* **Tombstone delete** (:meth:`delete_ids`) — rows are marked dead in the
+  parallel ``live`` mask but stay physically present, so slice ranges and
+  row references stay valid; scans simply skip dead rows.  Physical
+  compaction is deliberately out of scope (see ROADMAP "Open items").
+
+The resulting invariant is a *multiset of live rows*: after any
+interleaving of queries, appends, and deletes, the live ``(id, box)``
+multiset equals the initial multiset plus appended rows minus deleted
+ids — regardless of physical order.  :meth:`live_fingerprint` digests
+exactly that multiset; the :class:`~repro.updates.ledger.UpdateLedger`
+checks it against the history of applied updates.
+
+Every append/delete batch advances the :attr:`epoch` counter so indexes
+holding derived state can cheaply detect staleness.
 """
 
 from __future__ import annotations
@@ -37,7 +60,7 @@ class BoxStore:
         query results are stable regardless of physical order.
     """
 
-    __slots__ = ("_lo", "_hi", "_ids", "_max_extent")
+    __slots__ = ("_lo", "_hi", "_ids", "_live", "_max_extent", "_epoch", "_n_dead", "_next_id")
 
     def __init__(
         self,
@@ -75,7 +98,11 @@ class BoxStore:
         self._lo = lo
         self._hi = hi
         self._ids = ids
+        self._live = np.ones(lo.shape[0], dtype=bool)
         self._max_extent: np.ndarray | None = None
+        self._epoch = 0
+        self._n_dead = 0
+        self._next_id = int(ids.max()) + 1 if ids.size else 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -101,7 +128,12 @@ class BoxStore:
 
     def copy(self) -> BoxStore:
         """Deep copy; the original is untouched by operations on the copy."""
-        return BoxStore(self._lo.copy(), self._hi.copy(), self._ids.copy())
+        dup = BoxStore(self._lo.copy(), self._hi.copy(), self._ids.copy())
+        dup._live = self._live.copy()
+        dup._epoch = self._epoch
+        dup._n_dead = self._n_dead
+        dup._next_id = self._next_id
+        return dup
 
     # ------------------------------------------------------------------
     # Shape & access
@@ -134,6 +166,27 @@ class BoxStore:
         """Length-``n`` identifier vector, permuted alongside coordinates."""
         return self._ids
 
+    @property
+    def live(self) -> np.ndarray:
+        """Length-``n`` bool mask; False rows are tombstoned (deleted)."""
+        return self._live
+
+    @property
+    def epoch(self) -> int:
+        """Update-batch counter: +1 per non-empty :meth:`append` /
+        :meth:`delete_ids` batch."""
+        return self._epoch
+
+    @property
+    def n_dead(self) -> int:
+        """Number of tombstoned rows still physically present."""
+        return self._n_dead
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-tombstoned) rows."""
+        return self._lo.shape[0] - self._n_dead
+
     def box_at(self, row: int) -> Box:
         """The box currently stored at physical position ``row``."""
         return Box(tuple(self._lo[row]), tuple(self._hi[row]))
@@ -149,11 +202,17 @@ class BoxStore:
     def max_extent(self) -> np.ndarray:
         """Per-dimension maximum object side length.
 
-        Query extension enlarges windows by exactly this vector; it is
-        cached because it is workload-invariant (stores are never resized).
+        Query extension enlarges windows by exactly this vector.  It is
+        cached and grows monotonically: :meth:`append` widens it when a
+        new row exceeds it, and deletes never shrink it (a too-large
+        extension is merely conservative, never incorrect).  An empty
+        store starts at zero (appends grow it from there).
         """
         if self._max_extent is None:
-            self._max_extent = (self._hi - self._lo).max(axis=0)
+            if self.n == 0:
+                self._max_extent = np.zeros(self.ndim)
+            else:
+                self._max_extent = (self._hi - self._lo).max(axis=0)
         return self._max_extent
 
     def bounds(self) -> Box:
@@ -180,11 +239,13 @@ class BoxStore:
         window_lo: np.ndarray,
         window_hi: np.ndarray,
     ) -> np.ndarray:
-        """Identifiers of boxes in rows ``[begin, end)`` intersecting the window."""
+        """Identifiers of *live* boxes in rows ``[begin, end)`` intersecting the window."""
         self._check_range(begin, end)
         mask = boxes_intersect_window(
             self._lo[begin:end], self._hi[begin:end], window_lo, window_hi
         )
+        if self._n_dead:
+            mask &= self._live[begin:end]
         return self._ids[begin:end][mask]
 
     def count_range(
@@ -194,11 +255,13 @@ class BoxStore:
         window_lo: np.ndarray,
         window_hi: np.ndarray,
     ) -> int:
-        """Number of boxes in rows ``[begin, end)`` intersecting the window."""
+        """Number of live boxes in rows ``[begin, end)`` intersecting the window."""
         self._check_range(begin, end)
         mask = boxes_intersect_window(
             self._lo[begin:end], self._hi[begin:end], window_lo, window_hi
         )
+        if self._n_dead:
+            mask &= self._live[begin:end]
         return int(mask.sum())
 
     # ------------------------------------------------------------------
@@ -213,8 +276,8 @@ class BoxStore:
 
         ``order`` must be a permutation of ``0..end-begin-1``; row
         ``begin + order[k]`` moves to position ``begin + k``.  This is the
-        only mutation primitive — all cracking is built on it — so the
-        multiset of rows can never change.
+        only mutation queries may apply — all cracking is built on it — so
+        the multiset of rows can never change under a query sequence.
         """
         self._check_range(begin, end)
         span = end - begin
@@ -226,6 +289,8 @@ class BoxStore:
         self._lo[sub] = self._lo[sub][order]
         self._hi[sub] = self._hi[sub][order]
         self._ids[sub] = self._ids[sub][order]
+        if self._n_dead:
+            self._live[sub] = self._live[sub][order]
 
     def _check_range(self, begin: int, end: int) -> None:
         if not (0 <= begin <= end <= self.n):
@@ -234,23 +299,197 @@ class BoxStore:
             )
 
     # ------------------------------------------------------------------
+    # Updates (the insert/delete primitives)
+    # ------------------------------------------------------------------
+    def reserve_ids(self, count: int) -> np.ndarray:
+        """Allocate ``count`` fresh identifiers without appending rows.
+
+        Staging areas (:class:`~repro.updates.buffer.UpdateBuffer`) use
+        this so a pending insert already has its final ids before the rows
+        physically reach the store.
+        """
+        if count < 0:
+            raise DatasetError(f"cannot reserve {count} ids")
+        start = self._next_id
+        self._next_id += count
+        return np.arange(start, start + count, dtype=np.int64)
+
+    def claim_ids(self, ids: np.ndarray) -> None:
+        """Advance the id allocator past caller-supplied identifiers.
+
+        Must be called when explicit ids are staged *outside* the store
+        (e.g. buffered inserts), so later :meth:`reserve_ids` calls can
+        never hand out a duplicate.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size:
+            self._next_id = max(self._next_id, int(ids.max()) + 1)
+
+    def validate_batch(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Normalize and validate an insert/append batch for this store.
+
+        The single gate shared by :meth:`append` and
+        :class:`~repro.index.base.MutableSpatialIndex.insert` — lazy
+        index paths stage batches long before the store sees them, and a
+        batch that would fail here at merge time must be rejected up
+        front, with identical rules by construction.  Returns contiguous
+        float64 ``(k, d)`` corner matrices (a single length-``d`` pair is
+        promoted to a batch of one) and normalized ids (or ``None``).
+        """
+        lo = np.ascontiguousarray(np.atleast_2d(lo), dtype=np.float64)
+        hi = np.ascontiguousarray(np.atleast_2d(hi), dtype=np.float64)
+        if np.shares_memory(lo, hi):
+            hi = hi.copy()
+        if lo.shape != hi.shape or lo.ndim != 2:
+            raise DatasetError(
+                f"batch corner shape mismatch: {lo.shape} vs {hi.shape}"
+            )
+        if lo.shape[1] != self.ndim:
+            raise DatasetError(
+                f"batch boxes have {lo.shape[1]} dims, store has {self.ndim}"
+            )
+        if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
+            raise GeometryError("batch corners must be finite")
+        if np.any(lo > hi):
+            bad = int(np.argmax(np.any(lo > hi, axis=1)))
+            raise GeometryError(
+                f"batch row {bad}: lower corner exceeds upper corner"
+            )
+        if ids is not None:
+            ids = np.ascontiguousarray(ids, dtype=np.int64)
+            if ids.shape != (lo.shape[0],):
+                raise DatasetError(
+                    f"ids shape {ids.shape} does not match "
+                    f"{lo.shape[0]} batch rows"
+                )
+            if ids.size and (
+                np.unique(ids).size != ids.size or np.isin(ids, self._ids).any()
+            ):
+                raise DatasetError("batch ids collide with existing ids")
+        return lo, hi, ids
+
+    def append(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Append a batch of boxes at the tail; returns their identifiers.
+
+        Existing rows never move, so physical positions held by indexes
+        stay valid.  ``ids`` defaults to freshly reserved identifiers;
+        caller-supplied ids must not collide with any id currently in the
+        store (live or tombstoned).  Advances :attr:`epoch`; a zero-row
+        batch is a no-op and does not.
+        """
+        lo, hi, ids = self.validate_batch(lo, hi, ids)
+        return self.append_validated(lo, hi, ids)
+
+    def append_validated(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """:meth:`append` for a batch already through :meth:`validate_batch`.
+
+        The :class:`~repro.index.base.MutableSpatialIndex` paths validate
+        once at the API boundary and land rows here, so the gate does not
+        run twice per insert.  Callers must pass the *normalized* arrays
+        the gate returned.
+        """
+        k = lo.shape[0]
+        if ids is None:
+            ids = self.reserve_ids(k)
+        else:
+            self.claim_ids(ids)
+        if k == 0:
+            return ids
+        self._lo = np.concatenate([self._lo, lo])
+        self._hi = np.concatenate([self._hi, hi])
+        self._ids = np.concatenate([self._ids, ids])
+        self._live = np.concatenate([self._live, np.ones(k, dtype=bool)])
+        if self._max_extent is not None:
+            self._max_extent = np.maximum(
+                self._max_extent, (hi - lo).max(axis=0)
+            )
+        self._epoch += 1
+        return ids
+
+    def delete_ids(self, ids: np.ndarray) -> int:
+        """Tombstone every live row whose identifier is in ``ids``.
+
+        Rows stay physically present (positions/ranges held by indexes
+        remain valid); scans skip them via the ``live`` mask.  Every
+        requested id must match at least one live row — deleting an
+        unknown or already-deleted id raises, keeping the update ledger
+        exact.  Returns the number of rows tombstoned and advances
+        :attr:`epoch`.
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return 0
+        victims = np.isin(self._ids, ids) & self._live
+        found = np.unique(self._ids[victims])
+        missing = np.setdiff1d(ids, found)
+        if missing.size:
+            raise DatasetError(
+                f"cannot delete ids not live in the store: {missing[:5].tolist()}"
+            )
+        count = int(victims.sum())
+        self._live[victims] = False
+        self._n_dead += count
+        self._epoch += 1
+        return count
+
+    def live_rows(self) -> np.ndarray:
+        """Physical positions of all live rows (int64, ascending)."""
+        return np.flatnonzero(self._live)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def fingerprint(self) -> bytes:
-        """Order-insensitive digest of the (id, box) multiset.
+        """Order-insensitive digest of the *physical* (id, box, live) multiset.
 
         Two stores that are permutations of each other have equal
         fingerprints; used by tests to assert permutation safety.
+        Tombstoned rows are included (with their live flag), so the
+        fingerprint is invariant under queries but not under updates.
         """
         order = np.argsort(self._ids, kind="stable")
         stacked = np.hstack(
             [
                 self._ids[order, None].astype(np.float64),
+                self._live[order, None].astype(np.float64),
                 self._lo[order],
                 self._hi[order],
             ]
         )
         return stacked.tobytes()
+
+    def live_fingerprint(self) -> bytes:
+        """Order-insensitive digest of the *live* (id, box) multiset.
+
+        This is the store's documented invariant surface under mixed
+        read/write workloads: equal across stores holding the same live
+        rows, regardless of physical order, tombstones, or epoch.
+        """
+        rows = np.flatnonzero(self._live)
+        stacked = np.hstack(
+            [
+                self._ids[rows, None].astype(np.float64),
+                self._lo[rows],
+                self._hi[rows],
+            ]
+        )
+        order = np.lexsort(stacked.T[::-1])
+        return stacked[order].tobytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"BoxStore(n={self.n}, ndim={self.ndim})"

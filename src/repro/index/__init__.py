@@ -1,5 +1,5 @@
 """Common index interface shared by QUASII and every baseline."""
 
-from repro.index.base import IndexStats, SpatialIndex
+from repro.index.base import IndexStats, MutableSpatialIndex, SpatialIndex
 
-__all__ = ["IndexStats", "SpatialIndex"]
+__all__ = ["IndexStats", "MutableSpatialIndex", "SpatialIndex"]

@@ -50,6 +50,13 @@ class IndexStats:
     rows_reorganized:
         Total rows physically moved by reorganizations — the paper's
         incremental-strategy cost driver.
+    inserts:
+        Objects inserted through :class:`MutableSpatialIndex.insert`.
+    deletes:
+        Objects deleted through :class:`MutableSpatialIndex.delete`.
+    merges:
+        Pending-update batches absorbed into the main index structure
+        (QUASII buffer flushes, grid overflow compactions, ...).
     """
 
     queries: int = 0
@@ -58,6 +65,9 @@ class IndexStats:
     nodes_visited: int = 0
     cracks: int = 0
     rows_reorganized: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    merges: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -67,6 +77,9 @@ class IndexStats:
         self.nodes_visited = 0
         self.cracks = 0
         self.rows_reorganized = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.merges = 0
 
     def snapshot(self) -> IndexStats:
         """A frozen copy of the current counter values."""
@@ -77,6 +90,9 @@ class IndexStats:
             nodes_visited=self.nodes_visited,
             cracks=self.cracks,
             rows_reorganized=self.rows_reorganized,
+            inserts=self.inserts,
+            deletes=self.deletes,
+            merges=self.merges,
         )
 
 
@@ -96,6 +112,12 @@ class SpatialIndex(abc.ABC):
         self._store = store
         self.stats = IndexStats()
         self._built = False
+        #: Last store epoch this index has absorbed.  Queries verify it
+        #: still matches: derived state (CSR arrays, tree nodes, slice
+        #: forests) is only maintained for updates routed *through* the
+        #: index, so a store updated behind its back must fail loudly
+        #: instead of silently returning stale results.
+        self._seen_epoch = store.epoch
         #: Work units spent by the static build step (0 for incrementals).
         #: Together with the per-query counters this yields a machine-
         #: independent comparison-cost model: testing or moving a row
@@ -126,10 +148,27 @@ class SpatialIndex(abc.ABC):
             raise QueryError(
                 f"query has {query.ndim} dims, store has {self._store.ndim}"
             )
+        self._check_epoch()
         self.stats.queries += 1
         result = self._query(query)
         self.stats.results_returned += int(result.size)
         return result
+
+    def _check_epoch(self) -> None:
+        """Fail loudly if the store was updated outside this index.
+
+        Derived state (CSR arrays, tree nodes, slice forests) is only
+        maintained for updates routed through the index; serving — or
+        absorbing more — on top of an out-of-band mutation would silently
+        drop rows.
+        """
+        if self._store.epoch != self._seen_epoch:
+            raise QueryError(
+                f"store epoch {self._store.epoch} != index epoch "
+                f"{self._seen_epoch}: the store was updated outside this "
+                f"index; route inserts/deletes through the index, or "
+                f"construct a fresh index over the store"
+            )
 
     @abc.abstractmethod
     def _query(self, query: RangeQuery) -> np.ndarray:
@@ -141,3 +180,80 @@ class SpatialIndex(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(n={self._store.n})"
+
+
+class MutableSpatialIndex(SpatialIndex):
+    """A :class:`SpatialIndex` that also absorbs inserts and deletes.
+
+    The paper evaluates QUASII on a static data array and leaves updates
+    as future work; this mixin is that future work for the reproduction.
+    It adds the two write verbs of the mixed read/write workloads:
+
+    * :meth:`insert` — add new objects.  How they reach the main
+      structure is implementation-defined: QUASII stages them in an
+      :class:`~repro.updates.buffer.UpdateBuffer` and merges lazily on
+      the next query (cracking the appended run like any unrefined
+      slice); the grid and R-Tree place them directly.
+    * :meth:`delete` — remove objects by identifier.  The shared
+      :class:`BoxStore` tombstones the rows, so every structure that
+      resolves candidates through the store's live mask stays correct
+      without reorganizing.
+
+    Both verbs maintain the ``inserts`` / ``deletes`` counters; lazy
+    implementations additionally bump ``merges`` when a pending batch is
+    absorbed.  After any interleaving of queries and updates the index
+    must return exactly the live-row set a full scan returns — the
+    property suite enforces this against the Scan oracle.
+    """
+
+    def insert(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Insert a batch of boxes; returns their assigned identifiers.
+
+        ``lo``/``hi`` are ``(k, d)`` corner matrices (a single length-``d``
+        pair is promoted to a batch of one).  Fresh identifiers are
+        allocated unless ``ids`` is given.
+
+        The full batch is validated by the store's shared gate *before*
+        it reaches the index-specific path — lazy implementations stage
+        rows long before the store sees them, and a batch that would fail
+        the store's checks at merge time must be rejected up front, not
+        lost.
+        """
+        self._check_epoch()
+        lo, hi, ids = self._store.validate_batch(lo, hi, ids)
+        assigned = self._insert(lo, hi, ids)
+        self._seen_epoch = self._store.epoch
+        self.stats.inserts += int(assigned.size)
+        return assigned
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Delete the objects with the given identifiers; returns the count.
+
+        Deleting an id that is not currently live raises, keeping update
+        ledgers exact.
+        """
+        self._check_epoch()
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        removed = self._delete(ids)
+        self._seen_epoch = self._store.epoch
+        self.stats.deletes += removed
+        return removed
+
+    def pending_updates(self) -> int:
+        """Number of staged rows not yet merged into the main structure."""
+        return 0
+
+    @abc.abstractmethod
+    def _insert(
+        self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None
+    ) -> np.ndarray:
+        """Index-specific insert of validated ``(k, d)`` corner batches."""
+
+    def _delete(self, ids: np.ndarray) -> int:
+        """Index-specific delete; the default tombstones store rows."""
+        return self._store.delete_ids(ids)

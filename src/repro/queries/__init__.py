@@ -3,7 +3,9 @@
 from repro.queries.io import load_workload, save_workload
 from repro.queries.range_query import RangeQuery, side_for_volume_fraction
 from repro.queries.workloads import (
+    WorkloadOp,
     clustered_workload,
+    mixed_workload,
     selectivity_sweep,
     sequential_workload,
     uniform_workload,
@@ -11,8 +13,10 @@ from repro.queries.workloads import (
 
 __all__ = [
     "RangeQuery",
+    "WorkloadOp",
     "clustered_workload",
     "load_workload",
+    "mixed_workload",
     "save_workload",
     "selectivity_sweep",
     "sequential_workload",

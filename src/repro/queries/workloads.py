@@ -16,10 +16,15 @@ Two workload shapes drive every figure:
 Windows are always clipped to the universe so a query never asks for space
 where no data can live (matching how the paper samples query centers from
 the dataset extent).
+
+Beyond the paper, :func:`mixed_workload` interleaves window queries with
+insert/delete batches — the update subsystem's mixed read/write scenario
+(the paper leaves updates as future work; see :mod:`repro.updates`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -178,6 +183,116 @@ def sequential_workload(
         center[dim] = uni_lo[dim] + side / 2 + ((k * step) % span)
         queries.append(RangeQuery(_window_at(center, side, universe), seq=k))
     return queries
+
+
+@dataclass(frozen=True, eq=False)
+class WorkloadOp:
+    """One operation of a mixed read/write workload.
+
+    Attributes
+    ----------
+    kind:
+        ``"query"``, ``"insert"``, or ``"delete"``.
+    seq:
+        Zero-based position in the workload.
+    query:
+        The window (``kind == "query"`` only).
+    lo, hi:
+        ``(k, d)`` corner matrices of the boxes to insert
+        (``kind == "insert"`` only).
+    count:
+        How many live objects to delete (``kind == "delete"`` only).
+        *Which* objects is resolved at execution time against the current
+        live-id set — deterministically from ``seq`` — because the victim
+        population depends on all preceding operations.
+    """
+
+    kind: str
+    seq: int
+    query: RangeQuery | None = None
+    lo: np.ndarray | None = None
+    hi: np.ndarray | None = None
+    count: int = 0
+
+
+def mixed_workload(
+    universe: Box,
+    n_ops: int = 500,
+    write_ratio: float = 0.2,
+    delete_fraction: float = 0.5,
+    batch_size: int = 8,
+    volume_fraction: float = 1e-3,
+    box_sides: tuple[float, float] = (1.0, 10.0),
+    seed: int = 0,
+) -> list[WorkloadOp]:
+    """An interleaved stream of queries, insert batches, and delete batches.
+
+    Each operation is independently a write with probability
+    ``write_ratio``; writes are deletes with probability
+    ``delete_fraction`` (inserts otherwise), so at the default 0.5 the
+    live object count stays roughly stationary.  Queries are uniform
+    cubic windows (as :func:`uniform_workload`); inserted boxes have
+    uniform centers and per-dimension sides drawn from ``box_sides``
+    (the paper's small-object distribution), clipped to the universe.
+
+    Parameters
+    ----------
+    universe:
+        Box to draw query centers and inserted boxes from.
+    n_ops:
+        Total operation count (reads + writes).
+    write_ratio:
+        Fraction of operations that are writes, in ``[0, 1]``.
+    delete_fraction:
+        Fraction of writes that are deletes, in ``[0, 1]``.
+    batch_size:
+        Objects per insert/delete batch (writes are batched, as any
+        ingestion pipeline would).
+    volume_fraction:
+        Query window volume as a fraction of the universe volume.
+    box_sides:
+        Per-dimension side-length range of inserted boxes.
+    seed:
+        RNG seed; the op sequence is fully deterministic given it.
+    """
+    if n_ops < 1:
+        raise ConfigurationError(f"need at least one operation, got {n_ops}")
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ConfigurationError(
+            f"write_ratio must be in [0, 1], got {write_ratio}"
+        )
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ConfigurationError(
+            f"delete_fraction must be in [0, 1], got {delete_fraction}"
+        )
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    rng = np.random.default_rng(seed)
+    side = side_for_volume_fraction(universe, volume_fraction)
+    uni_lo = np.asarray(universe.lo)
+    uni_hi = np.asarray(universe.hi)
+    ops: list[WorkloadOp] = []
+    for seq in range(n_ops):
+        roll = rng.uniform()
+        if roll < write_ratio and rng.uniform() < delete_fraction:
+            ops.append(WorkloadOp("delete", seq, count=batch_size))
+        elif roll < write_ratio:
+            centers = rng.uniform(uni_lo, uni_hi, size=(batch_size, universe.ndim))
+            half = rng.uniform(
+                box_sides[0], box_sides[1], size=(batch_size, universe.ndim)
+            ) / 2.0
+            lo = np.maximum(centers - half, uni_lo)
+            hi = np.minimum(centers + half, uni_hi)
+            hi = np.maximum(hi, lo)
+            ops.append(WorkloadOp("insert", seq, lo=lo, hi=hi))
+        else:
+            center = rng.uniform(uni_lo, uni_hi, size=universe.ndim)
+            ops.append(
+                WorkloadOp(
+                    "query", seq, query=RangeQuery(_window_at(center, side, universe), seq=seq)
+                )
+            )
+    return ops
 
 
 def selectivity_sweep(

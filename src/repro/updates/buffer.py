@@ -1,0 +1,112 @@
+"""Staging area for pending inserts (the write path's front door).
+
+Lazy-merging indexes (QUASII) do not place a new object immediately:
+doing so would either pay a full reorganization per insert or violate the
+slice ordering invariants.  Instead inserts land in an
+:class:`UpdateBuffer` — a small columnar side array with already-final
+identifiers — and are merged into the main structure in one batch when a
+query next needs them (mirroring how QUASII treats any unrefined region:
+as a coarse run to be cracked on demand).
+
+The buffer is index-private state layered over the shared
+:class:`~repro.datasets.store.BoxStore`: identifiers are reserved from the
+store up front (so results referencing buffered objects are stable across
+the merge), but the rows only reach the store at :meth:`drain` time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.errors import DatasetError
+
+
+class UpdateBuffer:
+    """Columnar staging area of pending ``(id, box)`` rows.
+
+    Parameters
+    ----------
+    store:
+        The backing store; used for dimensionality checks and identifier
+        reservation, never mutated by the buffer itself.
+    """
+
+    __slots__ = ("_store", "_lo", "_hi", "_ids")
+
+    def __init__(self, store: BoxStore) -> None:
+        self._store = store
+        d = store.ndim
+        self._lo = np.empty((0, d), dtype=np.float64)
+        self._hi = np.empty((0, d), dtype=np.float64)
+        self._ids = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._ids.size
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Identifiers of the staged rows (live view; do not mutate)."""
+        return self._ids
+
+    def add(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Stage a validated ``(k, d)`` batch; returns its identifiers.
+
+        Fresh identifiers are reserved from the store unless ``ids`` is
+        given, so the caller can hand them out before the merge happens.
+        Explicit ids are *claimed* from the store's allocator so a later
+        reservation can never collide with a still-buffered row.
+        """
+        k = lo.shape[0]
+        if ids is None:
+            ids = self._store.reserve_ids(k)
+        else:
+            ids = np.ascontiguousarray(ids, dtype=np.int64)
+            if ids.shape != (k,):
+                raise DatasetError(
+                    f"ids shape {ids.shape} does not match {k} staged rows"
+                )
+            self._store.claim_ids(ids)
+        if k:
+            self._lo = np.concatenate([self._lo, lo])
+            self._hi = np.concatenate([self._hi, hi])
+            self._ids = np.concatenate([self._ids, ids])
+        return ids
+
+    def discard(self, ids: np.ndarray) -> np.ndarray:
+        """Drop staged rows with identifiers in ``ids``; returns those removed.
+
+        A delete that arrives while its target is still buffered never
+        needs to touch the main structure at all.
+        """
+        if not self._ids.size:
+            return np.empty(0, dtype=np.int64)
+        doomed = np.isin(self._ids, ids)
+        removed = self._ids[doomed]
+        if removed.size:
+            keep = ~doomed
+            self._lo = self._lo[keep]
+            self._hi = self._hi[keep]
+            self._ids = self._ids[keep]
+        return removed
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return and clear all staged rows as ``(lo, hi, ids)``."""
+        out = (self._lo, self._hi, self._ids)
+        d = self._store.ndim
+        self._lo = np.empty((0, d), dtype=np.float64)
+        self._hi = np.empty((0, d), dtype=np.float64)
+        self._ids = np.empty(0, dtype=np.int64)
+        return out
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the staged arrays."""
+        return int(self._lo.nbytes + self._hi.nbytes + self._ids.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UpdateBuffer(pending={len(self)})"

@@ -1,0 +1,157 @@
+"""Mixed read/write workload execution, timed per operation.
+
+:func:`run_mixed_workload` is the update-subsystem counterpart of
+:func:`repro.bench.runner.run_workload`: it drives one
+:class:`~repro.index.base.MutableSpatialIndex` through an interleaved
+stream of :class:`~repro.queries.workloads.WorkloadOp`, resolving delete
+victims deterministically so every index sees the *same* effective
+update sequence, and records per-op wall-clock plus the new write
+counters (``inserts`` / ``deletes`` / ``merges``).
+
+Delete resolution: a ``delete`` op carries only a count — which live ids
+die is decided here, by an RNG seeded from ``(victim_seed, op.seq)`` over
+the sorted current live-id set.  Because every index starts from an
+identical store copy and ids are reserved in the same order, the victim
+sequence (and therefore every query's expected result) is identical
+across indexes, which is what lets Scan serve as the correctness oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.index.base import MutableSpatialIndex
+from repro.queries.workloads import WorkloadOp
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Measurements for one executed operation."""
+
+    seq: int
+    kind: str
+    seconds: float
+    rows: int  # results returned (query) or batch size (insert/delete)
+
+
+@dataclass
+class MixedRunResult:
+    """A full mixed-workload execution for one index.
+
+    ``query_results`` holds each query's sorted id array (in op order) so
+    callers can cross-check indexes against the Scan oracle without
+    re-running anything.
+    """
+
+    name: str
+    timings: list[OpTiming] = field(default_factory=list)
+    query_results: list[np.ndarray] = field(default_factory=list)
+    inserts: int = 0
+    deletes: int = 0
+    merges: int = 0
+    final_live: int = 0
+
+    @property
+    def n_ops(self) -> int:
+        """Number of executed operations."""
+        return len(self.timings)
+
+    def total_seconds(self) -> float:
+        """Total wall-clock across all operations."""
+        return float(sum(t.seconds for t in self.timings))
+
+    def throughput(self) -> float:
+        """Operations per second over the whole run."""
+        total = self.total_seconds()
+        return self.n_ops / total if total > 0 else float("inf")
+
+    def kind_seconds(self, kind: str) -> float:
+        """Total wall-clock spent on one op kind."""
+        return float(sum(t.seconds for t in self.timings if t.kind == kind))
+
+    def kind_count(self, kind: str) -> int:
+        """Number of executed ops of one kind."""
+        return sum(1 for t in self.timings if t.kind == kind)
+
+    def mean_query_ms(self) -> float:
+        """Mean per-query latency in milliseconds."""
+        n = self.kind_count("query")
+        return self.kind_seconds("query") / n * 1000 if n else 0.0
+
+
+def resolve_delete_victims(
+    live_ids: np.ndarray, count: int, seq: int, victim_seed: int
+) -> np.ndarray:
+    """The ids a ``delete`` op kills, given the current live population.
+
+    Deterministic in ``(victim_seed, seq, live_ids)``; clamps to the
+    population size so a delete against a nearly-empty store degrades to
+    a smaller batch instead of failing.
+    """
+    count = min(count, live_ids.size)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    rng = np.random.default_rng((victim_seed, seq))
+    return rng.choice(np.sort(live_ids), size=count, replace=False)
+
+
+def run_mixed_workload(
+    index: MutableSpatialIndex,
+    ops: list[WorkloadOp],
+    victim_seed: int = 0,
+    build: bool = True,
+) -> MixedRunResult:
+    """Build (optionally) then execute every op against ``index``.
+
+    The executor maintains its own live-id set (seeded from the store)
+    purely to resolve delete victims; the index is never consulted for
+    membership, so a broken index cannot steer the workload.
+    """
+    if not isinstance(index, MutableSpatialIndex):
+        raise ConfigurationError(
+            f"{type(index).__name__} does not support updates; "
+            "use a MutableSpatialIndex"
+        )
+    if build and not index.is_built:
+        index.build()
+    store = index.store
+    # Maintained incrementally as a flat array: converting/sorting a
+    # Python set per delete op would dominate the harness at scale
+    # (victim resolution sorts internally, so order here is free).
+    live = store.ids[store.live_rows()].copy()
+    before = index.stats.snapshot()
+    result = MixedRunResult(name=index.name)
+    for op in ops:
+        if op.kind == "query":
+            t0 = time.perf_counter()
+            hits = index.query(op.query)
+            elapsed = time.perf_counter() - t0
+            result.query_results.append(np.sort(hits))
+            result.timings.append(OpTiming(op.seq, "query", elapsed, int(hits.size)))
+        elif op.kind == "insert":
+            t0 = time.perf_counter()
+            assigned = index.insert(op.lo, op.hi)
+            elapsed = time.perf_counter() - t0
+            live = np.concatenate([live, assigned])
+            result.timings.append(
+                OpTiming(op.seq, "insert", elapsed, int(assigned.size))
+            )
+        elif op.kind == "delete":
+            victims = resolve_delete_victims(live, op.count, op.seq, victim_seed)
+            t0 = time.perf_counter()
+            removed = index.delete(victims)
+            elapsed = time.perf_counter() - t0
+            live = live[~np.isin(live, victims)]
+            result.timings.append(OpTiming(op.seq, "delete", elapsed, removed))
+        else:
+            raise ConfigurationError(f"unknown workload op kind {op.kind!r}")
+    after = index.stats
+    result.inserts = after.inserts - before.inserts
+    result.deletes = after.deletes - before.deletes
+    result.merges = after.merges - before.merges
+    result.final_live = int(live.size)
+    return result

@@ -1,0 +1,103 @@
+"""Reference ledger of applied updates — the expected live multiset.
+
+The mutable store's documented invariant is *multiset of live rows*: after
+any interleaving of queries/inserts/deletes, the store's live ``(id, box)``
+set must equal the initial contents plus every applied insert minus every
+applied delete.  :class:`UpdateLedger` is the executable form of that
+sentence: it replays the same updates into a plain dictionary and can then
+be compared against a store (or answer a window query as a slow oracle).
+
+Used by the property suite and, optionally, by the mixed-workload runner's
+verification mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.errors import DatasetError
+
+
+class UpdateLedger:
+    """Dictionary-of-record mirror of a store's live ``(id, box)`` rows.
+
+    Parameters
+    ----------
+    store:
+        Optional store to seed from; its current live rows become the
+        ledger's initial population.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, store: BoxStore | None = None) -> None:
+        self._rows: dict[int, tuple[tuple[float, ...], tuple[float, ...]]] = {}
+        if store is not None:
+            for row in store.live_rows():
+                self._rows[int(store.ids[row])] = (
+                    tuple(store.lo[row]),
+                    tuple(store.hi[row]),
+                )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def record_insert(
+        self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray
+    ) -> None:
+        """Record an applied insert batch (ids must be new to the ledger)."""
+        for k, obj_id in enumerate(np.asarray(ids, dtype=np.int64)):
+            key = int(obj_id)
+            if key in self._rows:
+                raise DatasetError(f"ledger already holds id {key}")
+            self._rows[key] = (tuple(np.atleast_2d(lo)[k]), tuple(np.atleast_2d(hi)[k]))
+
+    def record_delete(self, ids: np.ndarray) -> None:
+        """Record an applied delete batch (every id must be live)."""
+        for obj_id in np.asarray(ids, dtype=np.int64).ravel():
+            key = int(obj_id)
+            if key not in self._rows:
+                raise DatasetError(f"ledger cannot delete unknown id {key}")
+            del self._rows[key]
+
+    def live_ids(self) -> np.ndarray:
+        """Sorted identifiers of all live objects."""
+        return np.array(sorted(self._rows), dtype=np.int64)
+
+    def expected_result(
+        self, window_lo: np.ndarray, window_hi: np.ndarray
+    ) -> np.ndarray:
+        """Sorted ids intersecting the window — a pure-ledger scan oracle."""
+        hits = [
+            obj_id
+            for obj_id, (lo, hi) in self._rows.items()
+            if all(l <= wh for l, wh in zip(lo, window_hi))
+            and all(wl <= h for wl, h in zip(window_lo, hi))
+        ]
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def matches_store(self, store: BoxStore) -> bool:
+        """Whether the store's live ``(id, box)`` multiset equals the ledger."""
+        rows = store.live_rows()
+        if rows.size != len(self._rows):
+            return False
+        for row in rows:
+            key = int(store.ids[row])
+            expect = self._rows.get(key)
+            if expect is None:
+                return False
+            lo, hi = expect
+            if tuple(store.lo[row]) != lo or tuple(store.hi[row]) != hi:
+                return False
+        return True
+
+    def assert_matches(self, store: BoxStore) -> None:
+        """Raise ``AssertionError`` unless :meth:`matches_store` holds."""
+        assert self.matches_store(store), (
+            f"store live multiset diverged from the update ledger: "
+            f"{store.live_count} live rows vs {len(self._rows)} ledger rows"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UpdateLedger(live={len(self._rows)})"

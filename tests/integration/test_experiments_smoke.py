@@ -28,6 +28,9 @@ TINY = Scale(
     grid_candidates=(3, 6),
     grid_uniform_parts=4,
     grid_neuro_parts=6,
+    mixed_ops=60,
+    mixed_write_batch=4,
+    mixed_ratios=(0.0, 0.4),
 )
 
 

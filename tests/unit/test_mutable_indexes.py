@@ -1,0 +1,382 @@
+"""Unit tests for the per-index insert/delete paths.
+
+Each update-capable index has a distinct write strategy — QUASII stages
+and lazily merges, the grid extends a CSR overflow, the R-Tree inserts
+directly via Guttman placement, Scan just appends — but they all must
+answer with exactly the live-row set afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import RTreeIndex, ScanIndex, UniformGridIndex
+from repro.core import QuasiiConfig, QuasiiIndex
+from repro.datasets import BoxStore, make_uniform
+from repro.errors import ConfigurationError, QueryError
+from repro.geometry import Box
+from repro.queries import RangeQuery
+
+
+UNIVERSE = Box((0.0, 0.0), (100.0, 100.0))
+FULL = RangeQuery(Box((-1.0, -1.0), (101.0, 101.0)), seq=999)
+
+
+def _store(n: int = 40, seed: int = 0) -> BoxStore:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 90, size=(n, 2))
+    return BoxStore(lo, lo + rng.uniform(0, 5, size=(n, 2)))
+
+
+def _batch(k: int, seed: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 90, size=(k, 2))
+    return lo, lo + rng.uniform(0, 5, size=(k, 2))
+
+
+def _expected_live(index) -> np.ndarray:
+    store = index.store
+    return np.sort(store.ids[store.live_rows()])
+
+
+class TestMixinSurface:
+    def test_single_box_promoted_to_batch(self):
+        idx = ScanIndex(_store())
+        ids = idx.insert(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert ids.size == 1
+        assert idx.stats.inserts == 1
+
+    def test_shape_and_dim_validation(self):
+        from repro.errors import DatasetError
+
+        idx = ScanIndex(_store())
+        with pytest.raises(DatasetError, match="mismatch"):
+            idx.insert(np.zeros((2, 2)), np.ones((3, 2)))
+        with pytest.raises(DatasetError, match="dims"):
+            idx.insert(np.zeros((1, 3)), np.ones((1, 3)))
+
+    def test_invalid_batches_rejected_at_insert_time_even_when_lazy(self):
+        # QUASII stages inserts; a batch the store would reject at merge
+        # time must fail fast at insert() and leave nothing staged.
+        from repro.errors import DatasetError, GeometryError
+
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        with pytest.raises(GeometryError, match="exceeds upper"):
+            idx.insert(np.array([[5.0, 5.0]]), np.array([[1.0, 1.0]]))
+        with pytest.raises(DatasetError, match="collide"):
+            idx.insert(
+                np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]),
+                ids=np.array([0]),  # already in the store
+            )
+        ok = idx.insert(
+            np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]),
+            ids=np.array([500]),
+        )
+        with pytest.raises(DatasetError, match="buffered"):
+            idx.insert(
+                np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]),
+                ids=np.array([500]),  # still staged
+            )
+        assert idx.pending_updates() == 1 and idx.stats.inserts == 1
+        got = idx.query(FULL)  # the merge succeeds; nothing was lost
+        assert np.isin(ok, got).all()
+        idx.validate_structure()
+
+    def test_explicit_buffered_ids_never_poison_the_allocator(self):
+        # Staging an explicit id must advance the store's allocator, or a
+        # later auto-reserved id could collide with the buffered row and
+        # make every subsequent merge fail.
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        explicit = idx.insert(
+            np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]),
+            ids=np.array([45]),
+        )
+        fresh = idx.insert(*_batch(8, seed=7))  # auto-reserved ids
+        assert not np.isin(explicit, fresh).any()
+        got = np.sort(idx.query(FULL))  # merge must succeed
+        assert np.isin(np.concatenate([explicit, fresh]), got).all()
+        idx.validate_structure()
+
+    def test_counters_accumulate_and_reset(self):
+        idx = ScanIndex(_store())
+        lo, hi = _batch(3)
+        ids = idx.insert(lo, hi)
+        idx.delete(ids[:2])
+        assert idx.stats.inserts == 3 and idx.stats.deletes == 2
+        snap = idx.stats.snapshot()
+        assert snap.inserts == 3 and snap.deletes == 2 and snap.merges == 0
+        idx.stats.reset()
+        assert idx.stats.inserts == 0 and idx.stats.deletes == 0
+        assert idx.stats.merges == 0
+
+    def test_query_reflects_inserts_and_deletes(self):
+        for make in (
+            lambda s: ScanIndex(s),
+            lambda s: QuasiiIndex(s, QuasiiConfig(2, (8, 4))),
+            lambda s: UniformGridIndex(s, UNIVERSE, 5),
+            lambda s: RTreeIndex(s, capacity=8),
+        ):
+            idx = make(_store())
+            idx.build()
+            lo, hi = _batch(5)
+            new_ids = idx.insert(lo, hi)
+            got = np.sort(idx.query(FULL))
+            assert np.array_equal(got, _expected_live(idx)), idx.name
+            assert np.isin(new_ids, got).all(), idx.name
+            idx.delete(new_ids[:2])
+            idx.delete(np.array([0]))
+            got = np.sort(idx.query(FULL))
+            assert np.array_equal(got, _expected_live(idx)), idx.name
+            assert not np.isin([new_ids[0], new_ids[1], 0], got).any(), idx.name
+
+
+class TestStartEmpty:
+    """A mutable store's natural bootstrap: begin with zero rows, insert."""
+
+    def _empty_store(self) -> BoxStore:
+        return BoxStore(np.empty((0, 2)), np.empty((0, 2)))
+
+    def test_every_index_supports_start_empty_then_insert(self):
+        for make in (
+            lambda s: ScanIndex(s),
+            lambda s: QuasiiIndex(s),
+            lambda s: UniformGridIndex(s, UNIVERSE, 5),
+            lambda s: RTreeIndex(s, capacity=8),
+        ):
+            idx = make(self._empty_store())
+            idx.build()
+            assert idx.query(FULL).size == 0, idx.name
+            lo, hi = _batch(20, seed=6)
+            ids = idx.insert(lo, hi)
+            got = np.sort(idx.query(FULL))
+            assert np.array_equal(got, np.sort(ids)), idx.name
+            idx.delete(ids[:5])
+            got = np.sort(idx.query(FULL))
+            assert np.array_equal(got, np.sort(ids[5:])), idx.name
+
+    def test_empty_quasii_forest_stays_valid(self):
+        idx = QuasiiIndex(self._empty_store())
+        idx.validate_structure()
+        idx.insert(*_batch(10, seed=3))
+        idx.query(FULL)
+        idx.validate_structure()
+
+    def test_nan_corners_rejected(self):
+        from repro.errors import GeometryError
+
+        idx = ScanIndex(_store())
+        with pytest.raises(GeometryError, match="finite"):
+            idx.insert(np.array([[np.nan, 1.0]]), np.array([[np.nan, 2.0]]))
+
+    def test_start_empty_replication_grid(self):
+        grid = UniformGridIndex(
+            self._empty_store(), UNIVERSE, 5, assignment="replication"
+        )
+        grid.build()
+        assert grid.query(FULL).size == 0
+        ids = grid.insert(*_batch(10, seed=9))
+        assert np.array_equal(np.sort(grid.query(FULL)), np.sort(ids))
+
+    def test_rebuild_after_deleting_everything(self):
+        store = _store(10)
+        grid = UniformGridIndex(store, UNIVERSE, 5, assignment="replication")
+        grid.build()
+        grid.delete(store.ids.copy())
+        grid._merge_overflow()  # rebuild over zero live rows must not crash
+        assert grid.query(FULL).size == 0
+
+
+class TestEpochStalenessGuard:
+    def test_out_of_band_store_update_fails_loudly(self):
+        from repro.errors import QueryError
+
+        store = _store()
+        grid = UniformGridIndex(store, UNIVERSE, 5)
+        grid.build()
+        grid.query(FULL)  # fine
+        store.append(np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]))
+        with pytest.raises(QueryError, match="epoch"):
+            grid.query(FULL)
+        # Writes cannot silently "forgive" the out-of-band update either.
+        with pytest.raises(QueryError, match="epoch"):
+            grid.insert(np.array([[3.0, 3.0]]), np.array([[4.0, 4.0]]))
+        with pytest.raises(QueryError, match="epoch"):
+            grid.delete(np.array([0]))
+
+    def test_updates_through_the_index_keep_the_epoch_in_sync(self):
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        ids = idx.insert(*_batch(3))
+        idx.query(FULL)
+        idx.delete(ids)
+        assert np.sort(idx.query(FULL)).size == 40
+
+
+class TestGridOverflow:
+    def test_inserts_go_to_overflow_then_compact(self):
+        grid = UniformGridIndex(_store(), UNIVERSE, 5, merge_threshold=6)
+        grid.build()
+        initial_work = grid.build_work
+        lo, hi = _batch(4)
+        grid.insert(lo, hi)
+        assert grid.pending_updates() == 4
+        assert grid.stats.merges == 0
+        lo, hi = _batch(4, seed=2)
+        grid.insert(lo, hi)  # 8 > 6: compaction
+        assert grid.pending_updates() == 0
+        assert grid.stats.merges == 1
+        # The comparison-model cost accumulates across compactions.
+        assert grid.build_work > initial_work
+        assert np.array_equal(np.sort(grid.query(FULL)), _expected_live(grid))
+
+    def test_insert_before_build_is_swept_up_by_build(self):
+        grid = UniformGridIndex(_store(), UNIVERSE, 5)
+        lo, hi = _batch(3)
+        grid.insert(lo, hi)
+        assert grid.pending_updates() == 0  # no overflow pre-build
+        grid.build()
+        assert np.array_equal(np.sort(grid.query(FULL)), _expected_live(grid))
+
+    def test_replication_assignment_insert_path(self):
+        grid = UniformGridIndex(_store(), UNIVERSE, 5, assignment="replication")
+        grid.build()
+        # A box spanning many cells exercises the replicated overflow.
+        grid.insert(np.array([[5.0, 5.0]]), np.array([[80.0, 80.0]]))
+        assert grid.pending_updates() > 1  # one entry per overlapped cell
+        assert np.array_equal(np.sort(grid.query(FULL)), _expected_live(grid))
+        window = RangeQuery(Box((30.0, 30.0), (40.0, 40.0)), seq=1)
+        assert 40 in grid.query(window)  # the big box is id 40
+
+    def test_compaction_sheds_dead_entries_under_churn(self):
+        grid = UniformGridIndex(_store(), UNIVERSE, 5, merge_threshold=10)
+        grid.build()
+        for i in range(20):
+            ids = grid.insert(*_batch(5, seed=50 + i))
+            grid.delete(ids)
+        assert grid.stats.merges > 0
+        # The CSR holds only live entries after a compaction: inserts that
+        # were deleted again do not accumulate forever.
+        assert grid._sorted_rows.size <= grid.store.n - grid.store.n_dead + grid.pending_updates()
+        assert np.array_equal(np.sort(grid.query(FULL)), _expected_live(grid))
+
+    def test_merge_threshold_validated(self):
+        with pytest.raises(ConfigurationError, match="merge_threshold"):
+            UniformGridIndex(_store(), UNIVERSE, 5, merge_threshold=0)
+
+
+class TestRTreeInserts:
+    def test_insert_places_rows_in_existing_tree(self):
+        rtree = RTreeIndex(_store(), capacity=8)
+        rtree.build()
+        nodes_before = rtree.root.count_nodes()
+        lo, hi = _batch(30, seed=4)
+        rtree.insert(lo, hi)
+        assert rtree.root.count_nodes() > nodes_before  # splits happened
+        assert np.array_equal(np.sort(rtree.query(FULL)), _expected_live(rtree))
+
+    def test_tree_stays_balanced_under_inserts(self):
+        rtree = RTreeIndex(_store(), capacity=4)
+        rtree.build()
+        h = rtree.height()
+        lo, hi = _batch(60, seed=5)
+        rtree.insert(lo, hi)
+        assert rtree.height() >= h
+        # Every leaf is at the same depth (Guttman preserves balance).
+        depths = set()
+
+        def walk(node, d):
+            if node.is_leaf:
+                depths.add(d)
+            else:
+                for c in node.children:
+                    walk(c, d + 1)
+
+        walk(rtree.root, 0)
+        assert len(depths) == 1
+
+    def test_deletes_leave_mbrs_conservative_but_correct(self):
+        rtree = RTreeIndex(_store(), capacity=8)
+        rtree.build()
+        rtree.delete(np.arange(10))
+        got = np.sort(rtree.query(FULL))
+        assert np.array_equal(got, np.arange(10, 40))
+
+
+class TestQuasiiLazyMerge:
+    def test_inserts_stage_until_next_query(self):
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        lo, hi = _batch(5)
+        new_ids = idx.insert(lo, hi)
+        assert idx.pending_updates() == 5
+        assert idx.stats.merges == 0
+        assert idx.store.n == 40  # rows not yet in the store
+        got = np.sort(idx.query(FULL))
+        assert idx.pending_updates() == 0
+        assert idx.store.n == 45
+        assert idx.stats.merges == 1
+        assert np.isin(new_ids, got).all()
+        idx.validate_structure()
+
+    def test_failed_delete_leaves_staged_rows_intact(self):
+        # All-or-nothing: a delete batch with an unknown id must not
+        # consume the staged targets it was bundled with.
+        from repro.errors import DatasetError
+
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        staged = idx.insert(*_batch(2))
+        with pytest.raises(DatasetError, match="not live"):
+            idx.delete(np.concatenate([staged, np.array([999_999])]))
+        assert idx.pending_updates() == 2  # nothing was discarded
+        assert idx.stats.deletes == 0
+        got = np.sort(idx.query(FULL))
+        assert np.isin(staged, got).all()
+
+    def test_buffered_delete_never_reaches_the_store(self):
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        ids = idx.insert(*_batch(3))
+        assert idx.delete(ids) == 3
+        assert idx.pending_updates() == 0
+        assert idx.store.n == 40 and idx.store.n_dead == 0
+        assert np.array_equal(np.sort(idx.query(FULL)), np.arange(40))
+
+    def test_consecutive_batches_coalesce_into_one_run(self):
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        idx.insert(*_batch(3, seed=1))
+        idx.query(FULL)
+        idx.insert(*_batch(3, seed=2))
+        idx.query(FULL)
+        # FULL touches (and may crack) the run; runs stay bounded.
+        assert idx.runs <= 3
+        idx.validate_structure()
+
+    def test_max_runs_collapses_the_forest(self):
+        store = _store(60)
+        idx = QuasiiIndex(store, QuasiiConfig(2, (8, 4)), max_runs=2)
+        rng = np.random.default_rng(8)
+        for i in range(10):
+            idx.insert(*_batch(4, seed=100 + i))
+            qlo = rng.uniform(0, 80, size=2)
+            window = Box(tuple(qlo), tuple(qlo + 15.0))
+            idx.query(RangeQuery(window, seq=i))
+            assert idx.runs <= 3  # main + max_runs
+            idx.validate_structure()
+        assert np.array_equal(np.sort(idx.query(FULL)), _expected_live(idx))
+
+    def test_max_runs_validated(self):
+        with pytest.raises(ConfigurationError, match="max_runs"):
+            QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)), max_runs=0)
+
+    def test_memory_bytes_includes_buffer(self):
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        before = idx.memory_bytes()
+        idx.insert(*_batch(10))
+        assert idx.memory_bytes() > before
+
+    def test_format_structure_shows_runs_and_buffer(self):
+        idx = QuasiiIndex(_store(), QuasiiConfig(2, (8, 4)))
+        idx.query(FULL)  # crack the main hierarchy
+        idx.insert(*_batch(3))
+        text = idx.format_structure()
+        assert "update buffer: 3 pending rows" in text
+        idx.query(FULL)
+        assert "appended run" in idx.format_structure()

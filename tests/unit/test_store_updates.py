@@ -1,0 +1,166 @@
+"""Unit tests for BoxStore's update surface (append / tombstone delete).
+
+The store's relaxed invariant is *multiset of live rows*: queries only
+permute, appends extend the tail, deletes tombstone in place.  These
+tests pin down the primitive semantics the indexes build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import BoxStore
+from repro.errors import DatasetError, GeometryError
+
+
+def _small_store(n: int = 6, ndim: int = 2, seed: int = 0) -> BoxStore:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 50, size=(n, ndim))
+    return BoxStore(lo, lo + rng.uniform(0, 5, size=(n, ndim)))
+
+
+class TestAppend:
+    def test_append_extends_tail_and_returns_fresh_ids(self):
+        store = _small_store(4)
+        before_epoch = store.epoch
+        ids = store.append(np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]))
+        assert store.n == 5
+        assert ids.tolist() == [4]
+        assert store.id_at(4) == 4
+        assert store.epoch == before_epoch + 1
+
+    def test_batch_appends_and_single_box_promotion(self):
+        # validate_batch promotes a single length-d pair to a (1, d) batch.
+        store = _small_store(3)
+        ids = store.append(np.array([[0.5, 0.5], [3.0, 3.0]]),
+                           np.array([[1.5, 1.0], [4.0, 3.5]]))
+        assert ids.tolist() == [3, 4]
+        assert store.live_count == 5
+        ids = store.append(np.array([7.0, 7.0]), np.array([8.0, 8.0]))
+        assert ids.tolist() == [5] and store.n == 6
+
+    def test_explicit_ids_respected_and_collisions_rejected(self):
+        store = _small_store(3)
+        ids = store.append(
+            np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]),
+            ids=np.array([40]),
+        )
+        assert ids.tolist() == [40]
+        # The id allocator skips past explicit ids.
+        assert store.reserve_ids(1).tolist() == [41]
+        with pytest.raises(DatasetError, match="collide"):
+            store.append(
+                np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]),
+                ids=np.array([2]),
+            )
+
+    def test_append_validates_geometry_and_shape(self):
+        store = _small_store(3)
+        with pytest.raises(GeometryError):
+            store.append(np.array([[5.0, 5.0]]), np.array([[4.0, 6.0]]))
+        with pytest.raises(DatasetError):
+            store.append(np.array([[1.0, 1.0, 1.0]]), np.array([[2.0, 2.0, 2.0]]))
+
+    def test_empty_append_is_a_noop(self):
+        store = _small_store(3)
+        epoch = store.epoch
+        ids = store.append(np.empty((0, 2)), np.empty((0, 2)))
+        assert ids.size == 0 and store.n == 3 and store.epoch == epoch
+        # Explicit (empty) ids take the same early exit.
+        ids = store.append(
+            np.empty((0, 2)), np.empty((0, 2)), ids=np.empty(0, dtype=np.int64)
+        )
+        assert ids.size == 0 and store.epoch == epoch
+
+    def test_max_extent_grows_with_appended_objects(self):
+        store = _small_store(4)
+        small = store.max_extent.copy()
+        store.append(np.array([[0.0, 0.0]]), np.array([[40.0, 0.5]]))
+        assert store.max_extent[0] == pytest.approx(40.0)
+        assert store.max_extent[1] == pytest.approx(small[1])
+
+
+class TestDelete:
+    def test_delete_tombstones_without_moving_rows(self):
+        store = _small_store(5)
+        ids_before = store.ids.copy()
+        assert store.delete_ids(np.array([1, 3])) == 2
+        assert np.array_equal(store.ids, ids_before)  # rows did not move
+        assert store.n == 5 and store.live_count == 3 and store.n_dead == 2
+        assert not store.live[1] and not store.live[3]
+
+    def test_scans_skip_dead_rows(self):
+        store = _small_store(5)
+        window_lo, window_hi = np.full(2, -100.0), np.full(2, 100.0)
+        assert store.scan_range(0, 5, window_lo, window_hi).size == 5
+        store.delete_ids(np.array([0]))
+        hits = store.scan_range(0, 5, window_lo, window_hi)
+        assert hits.size == 4 and 0 not in hits
+        assert store.count_range(0, 5, window_lo, window_hi) == 4
+
+    def test_deleting_unknown_or_dead_id_raises(self):
+        store = _small_store(4)
+        with pytest.raises(DatasetError, match="not live"):
+            store.delete_ids(np.array([99]))
+        store.delete_ids(np.array([2]))
+        with pytest.raises(DatasetError, match="not live"):
+            store.delete_ids(np.array([2]))
+
+    def test_empty_delete_is_a_noop(self):
+        store = _small_store(3)
+        epoch = store.epoch
+        assert store.delete_ids(np.empty(0, dtype=np.int64)) == 0
+        assert store.epoch == epoch
+
+    def test_live_mask_rides_permutations(self):
+        store = _small_store(6)
+        store.delete_ids(np.array([0, 5]))
+        rng = np.random.default_rng(3)
+        store.apply_order(rng.permutation(6))
+        dead_positions = np.flatnonzero(~store.live)
+        assert sorted(store.ids[dead_positions].tolist()) == [0, 5]
+        window_lo, window_hi = np.full(2, -100.0), np.full(2, 100.0)
+        assert sorted(store.scan_range(0, 6, window_lo, window_hi)) == [1, 2, 3, 4]
+
+
+class TestInvariantSurface:
+    def test_live_fingerprint_invariant_under_permutation(self):
+        store = _small_store(6)
+        store.delete_ids(np.array([2]))
+        fp = store.live_fingerprint()
+        store.apply_order(np.random.default_rng(1).permutation(6))
+        assert store.live_fingerprint() == fp
+
+    def test_live_fingerprint_changes_with_updates(self):
+        store = _small_store(6)
+        fp = store.live_fingerprint()
+        store.append(np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]))
+        fp_after_insert = store.live_fingerprint()
+        assert fp_after_insert != fp
+        store.delete_ids(np.array([6]))
+        assert store.live_fingerprint() == fp  # back to the initial multiset
+
+    def test_physical_fingerprint_sees_tombstones(self):
+        # fingerprint() covers physical rows: a delete changes it even
+        # though the rows did not move.
+        store = _small_store(4)
+        fp = store.fingerprint()
+        store.delete_ids(np.array([1]))
+        assert store.fingerprint() != fp
+
+    def test_copy_preserves_update_state(self):
+        store = _small_store(5)
+        store.append(np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]))
+        store.delete_ids(np.array([3]))
+        dup = store.copy()
+        assert dup.epoch == store.epoch
+        assert dup.n_dead == 1 and dup.live_count == store.live_count
+        assert dup.live_fingerprint() == store.live_fingerprint()
+        # Fresh ids continue from the same point in both.
+        assert dup.reserve_ids(1).tolist() == store.reserve_ids(1).tolist()
+
+    def test_live_rows_positions(self):
+        store = _small_store(4)
+        store.delete_ids(np.array([1]))
+        assert store.live_rows().tolist() == [0, 2, 3]
