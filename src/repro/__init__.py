@@ -42,9 +42,17 @@ from repro.queries import (
     RangeQuery,
     WorkloadOp,
     clustered_workload,
+    hotspot_workload,
     mixed_workload,
     selectivity_sweep,
     uniform_workload,
+)
+from repro.sharding import (
+    BatchResult,
+    QueryExecutor,
+    RoundRobinPartitioner,
+    STRPartitioner,
+    ShardedIndex,
 )
 from repro.updates import (
     MixedRunResult,
@@ -57,6 +65,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PAPER_TAU",
+    "BatchResult",
     "Box",
     "BoxStore",
     "Dataset",
@@ -66,11 +75,15 @@ __all__ = [
     "MutableSpatialIndex",
     "QuasiiConfig",
     "QuasiiIndex",
+    "QueryExecutor",
     "RTreeIndex",
     "RangeQuery",
+    "RoundRobinPartitioner",
+    "STRPartitioner",
     "SFCIndex",
     "SFCrackerIndex",
     "ScanIndex",
+    "ShardedIndex",
     "SpatialIndex",
     "UniformGridIndex",
     "UpdateBuffer",
@@ -78,6 +91,7 @@ __all__ = [
     "WorkloadOp",
     "__version__",
     "clustered_workload",
+    "hotspot_workload",
     "k_nearest",
     "load_dataset",
     "make_gaussian_mixture",

@@ -8,9 +8,14 @@ node with one vectorized MBR intersection test.
 Updates (beyond the paper): the R-Tree is the classic dynamic spatial
 structure, so inserts take the direct path — each appended row is placed
 by Guttman ChooseLeaf/quadratic-split insertion into the existing
-(STR-built) tree.  Deletes are store-level tombstones filtered during
-leaf scans; dead rows stay in their leaves (MBRs become conservative,
-never wrong) until a rebuild.
+(STR-built) tree.  Deletes tombstone rows in the store *and* condense
+the tree: dead rows are dropped from their leaves, affected leaf MBRs
+are re-tightened to the surviving members, emptied nodes are pruned, and
+ancestor MBRs shrink on the way back up — so post-delete queries stop
+visiting dead space instead of scanning conservative boxes forever.
+(Unlike Guttman's full CondenseTree, underfull nodes are not dissolved
+and re-inserted; fanout may sag below the minimum fill until a rebuild,
+which costs extra node visits but never correctness.)
 """
 
 from __future__ import annotations
@@ -131,6 +136,57 @@ class RTreeIndex(MutableSpatialIndex):
                 inserter.insert(row)
             self._root = inserter.root
         return assigned
+
+    def _delete(self, ids: np.ndarray) -> int:
+        """Tombstone rows, then condense the tree along affected paths."""
+        victim_rows = self._store.find_live_rows(ids)
+        removed = self._store.tombstone_rows(victim_rows)
+        if self._root is not None and victim_rows.size:
+            victims = np.zeros(self._store.n, dtype=bool)
+            victims[victim_rows] = True
+            # Every leaf holding a victim row has an MBR containing that
+            # row's box, so descending only into children intersecting
+            # the victims' union MBB reaches all affected leaves.
+            w_lo = self._store.lo[victim_rows].min(axis=0)
+            w_hi = self._store.hi[victim_rows].max(axis=0)
+            if self._condense(self._root, victims, w_lo, w_hi):
+                self._root = None
+        return removed
+
+    def _condense(
+        self,
+        node: RTreeNode,
+        victims: np.ndarray,
+        w_lo: np.ndarray,
+        w_hi: np.ndarray,
+    ) -> bool:
+        """Drop victim rows below ``node``, re-tightening MBRs bottom-up.
+
+        Returns True when the subtree is left empty (caller prunes it).
+        """
+        if node.is_leaf:
+            hit = victims[node.rows]
+            if not hit.any():
+                return node.rows.size == 0
+            node.rows = node.rows[~hit]
+            if node.rows.size == 0:
+                return True
+            node.lo = self._store.lo[node.rows].min(axis=0)
+            node.hi = self._store.hi[node.rows].max(axis=0)
+            return False
+        mask = boxes_intersect_window(node.child_lo, node.child_hi, w_lo, w_hi)
+        if not mask.any():
+            return False
+        survivors = [
+            child
+            for i, child in enumerate(node.children)
+            if not (mask[i] and self._condense(child, victims, w_lo, w_hi))
+        ]
+        if not survivors:
+            return True
+        node.children = survivors
+        node.recompute_mbr()
+        return False
 
     def height(self) -> int:
         """Tree height (levels); 0 for a built-but-empty tree."""

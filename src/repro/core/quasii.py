@@ -82,6 +82,18 @@ class QuasiiIndex(MutableSpatialIndex):
         run (their refinement is discarded and re-earned by later
         queries), bounding the per-query forest walk under sustained
         ingestion.
+    bulk_flush_threshold:
+        Appended runs of at least this many rows are *STR bulk-loaded*
+        at merge time — sorted level by level into an already-refined
+        slice hierarchy (the eager version of what queries would crack
+        out incrementally, exactly as STR inspired Algorithm 2) —
+        instead of joining the forest as one coarse run.  Large flushes
+        would otherwise be cracked from scratch by the next queries that
+        touch them, repeatedly paying O(run) passes; one bulk sort is
+        cheaper and leaves nothing to converge.  ``None`` (default)
+        derives the threshold as the top-level ladder threshold: any
+        smaller run is already "refined at level 0" by definition and
+        stays lazy.
 
     Examples
     --------
@@ -106,10 +118,15 @@ class QuasiiIndex(MutableSpatialIndex):
         representative: str = "lower",
         artificial_split: str = "midpoint",
         max_runs: int = 8,
+        bulk_flush_threshold: int | None = None,
     ) -> None:
         super().__init__(store)
         if max_runs < 1:
             raise ConfigurationError(f"max_runs must be >= 1, got {max_runs}")
+        if bulk_flush_threshold is not None and bulk_flush_threshold < 1:
+            raise ConfigurationError(
+                f"bulk_flush_threshold must be >= 1, got {bulk_flush_threshold}"
+            )
         self._max_runs = int(max_runs)
         if config is None:
             # An empty store (start-empty-then-insert) gets the minimal
@@ -132,10 +149,18 @@ class QuasiiIndex(MutableSpatialIndex):
         self._config = config
         self._representative = representative
         self._artificial_split = artificial_split
+        self._bulk_flush_threshold = (
+            int(bulk_flush_threshold)
+            if bulk_flush_threshold is not None
+            else config.threshold(0)
+        )
         # Query extension margin: per-dimension maximum object extent
         # (Stefanakis et al.); refreshed whenever an absorbed insert run
         # contains a larger object (growing it is conservative-safe).
         self._max_extent = store.max_extent.copy()
+        # Rows present at construction: when nonzero, tops[0] is the
+        # main query-built hierarchy and is never bulk-loaded by flushes.
+        self._initial_rows = store.n
         # The slice forest: the main hierarchy over the initial rows plus
         # one top-level list per absorbed insert run, in row order.  An
         # empty store starts with an empty forest; the first absorbed run
@@ -257,12 +282,32 @@ class QuasiiIndex(MutableSpatialIndex):
         self._max_extent = np.maximum(self._max_extent, self._store.max_extent)
         tail_list = self._tops[-1] if self._tops else None
         tail = tail_list.slices[-1] if tail_list is not None else None
-        if (
+        coalesce = (
             tail_list is not None
             and len(tail_list) == 1
             and tail.children is None
             and tail.cut_lo == -_INF
-        ):
+        )
+        # A still-virgin tail *insert run* and the fresh batch form one
+        # contiguous coarse region; treat them as a single run for the
+        # size check so a stream of small batches can still earn a bulk
+        # load.  The main hierarchy is excluded even while virgin: bulk
+        # loading governs appended runs only — eagerly sorting initial
+        # rows no query asked about would forfeit query-driven building.
+        tail_is_insert_run = coalesce and (
+            len(self._tops) > 1 or self._initial_rows == 0
+        )
+        run_begin = tail.begin if tail_is_insert_run else begin
+        if end - run_begin >= self._bulk_flush_threshold:
+            # Large run: STR bulk load it into an already-refined slice
+            # hierarchy instead of leaving a coarse run for queries to
+            # crack from scratch.
+            if tail_is_insert_run:
+                self._tops.pop()
+            self._tops.append(self._build_str_run(run_begin, end))
+            if len(self._tops) - 1 > self._max_runs:
+                self._collapse_runs()
+        elif coalesce:
             # The previous run is still one uncracked slice holding the
             # whole key range: coalesce into it (union the recorded MBB
             # over the batch, then re-check the threshold) instead of
@@ -280,6 +325,79 @@ class QuasiiIndex(MutableSpatialIndex):
             if len(self._tops) - 1 > self._max_runs:
                 self._collapse_runs()
         self.stats.merges += 1
+
+    def _build_str_run(self, begin: int, end: int) -> SliceList:
+        """STR bulk load rows ``[begin, end)`` into a refined run.
+
+        Applies STR's sort-and-slab recursion with the ladder's per-level
+        thresholds: sort the range on the level's representative key, cut
+        it into slabs of at most the level threshold, recurse on the next
+        dimension inside each slab.  The result is the hierarchy the
+        incremental path would converge to if queries covered the run —
+        built eagerly for the price of ``d`` sorts over the run.
+        """
+        ndim = self._store.ndim
+        return SliceList(
+            0,
+            self._str_slices(
+                0, begin, end, np.full(ndim, -_INF), np.full(ndim, _INF)
+            ),
+        )
+
+    def _str_slices(
+        self,
+        level: int,
+        begin: int,
+        end: int,
+        parent_lo: np.ndarray,
+        parent_hi: np.ndarray,
+    ) -> list[Slice]:
+        """One sorted sibling run of the STR bulk load, children included.
+
+        Slab boundaries land only between *distinct* representative keys
+        (ties push a boundary outward), so every cut bound satisfies the
+        strict sibling invariants; a slab stretched past the threshold by
+        duplicate keys simply stays non-final and is refined — or passed
+        through, its keys being indistinguishable — by later queries.
+        """
+        store = self._store
+        keys = representative_keys(store, begin, end, level, self._representative)
+        order = np.argsort(keys, kind="stable")
+        store.apply_order_range(begin, end, order)
+        self.stats.rows_reorganized += end - begin
+        # Re-read after the permutation: the range is now key-sorted.
+        keys = representative_keys(store, begin, end, level, self._representative)
+        tau = self._config.threshold(level)
+        out: list[Slice] = []
+        pos = begin
+        while pos < end:
+            nxt = min(pos + tau, end)
+            if nxt < end and keys[nxt - begin] == keys[nxt - begin - 1]:
+                # Only the not-yet-slabbed tail [pos, end) is still
+                # key-sorted (child recursion permutes finished slabs on
+                # deeper dimensions), so search within it.
+                tail = keys[pos - begin : end - begin]
+                bound = keys[nxt - begin]
+                first = pos + int(np.searchsorted(tail, bound, side="left"))
+                if first > pos:
+                    nxt = first
+                else:
+                    nxt = pos + int(np.searchsorted(tail, bound, side="right"))
+            cut_lo = -_INF if pos == begin else float(keys[pos - begin])
+            mbb_lo = parent_lo.copy()
+            mbb_hi = parent_hi.copy()
+            mbb_lo[level] = float(store.lo[pos:nxt, level].min())
+            mbb_hi[level] = float(store.hi[pos:nxt, level].max())
+            node = Slice(level, pos, nxt, cut_lo, mbb_lo, mbb_hi)
+            if level + 1 < self._config.ndim:
+                node.children = SliceList(
+                    level + 1,
+                    self._str_slices(level + 1, pos, nxt, mbb_lo, mbb_hi),
+                )
+            self._maybe_finalize(node)
+            out.append(node)
+            pos = nxt
+        return out
 
     def _collapse_runs(self) -> None:
         """Defragment: fold every appended run back into one coarse run.

@@ -421,6 +421,42 @@ class BoxStore:
         self._epoch += 1
         return ids
 
+    def find_live_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Physical positions of the live rows matching ``ids`` (validating).
+
+        Every requested id must match at least one live row — an unknown
+        or already-deleted id raises, keeping update ledgers exact.  The
+        scan half of :meth:`delete_ids`, exposed separately so callers
+        that also need the victim rows (e.g. the R-Tree's delete-time
+        condensing) resolve them in a single pass over the store.
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        victims = np.isin(self._ids, ids) & self._live
+        found = np.unique(self._ids[victims])
+        missing = np.setdiff1d(ids, found)
+        if missing.size:
+            raise DatasetError(
+                f"cannot delete ids not live in the store: {missing[:5].tolist()}"
+            )
+        return np.flatnonzero(victims)
+
+    def tombstone_rows(self, rows: np.ndarray) -> int:
+        """Tombstone rows by physical position (no liveness validation).
+
+        The mutation half of :meth:`delete_ids`; ``rows`` must be live
+        positions (as returned by :meth:`find_live_rows`).  Returns the
+        count and advances :attr:`epoch`; an empty batch is a no-op and
+        does not.
+        """
+        if rows.size == 0:
+            return 0
+        self._live[rows] = False
+        self._n_dead += int(rows.size)
+        self._epoch += 1
+        return int(rows.size)
+
     def delete_ids(self, ids: np.ndarray) -> int:
         """Tombstone every live row whose identifier is in ``ids``.
 
@@ -431,21 +467,7 @@ class BoxStore:
         exact.  Returns the number of rows tombstoned and advances
         :attr:`epoch`.
         """
-        ids = np.asarray(ids, dtype=np.int64).ravel()
-        if ids.size == 0:
-            return 0
-        victims = np.isin(self._ids, ids) & self._live
-        found = np.unique(self._ids[victims])
-        missing = np.setdiff1d(ids, found)
-        if missing.size:
-            raise DatasetError(
-                f"cannot delete ids not live in the store: {missing[:5].tolist()}"
-            )
-        count = int(victims.sum())
-        self._live[victims] = False
-        self._n_dead += count
-        self._epoch += 1
-        return count
+        return self.tombstone_rows(self.find_live_rows(ids))
 
     def live_rows(self) -> np.ndarray:
         """Physical positions of all live rows (int64, ascending)."""

@@ -57,6 +57,14 @@ class IndexStats:
     merges:
         Pending-update batches absorbed into the main index structure
         (QUASII buffer flushes, grid overflow compactions, ...).
+    shards_visited:
+        Shards whose MBB intersected a query window and were fanned out
+        to (:class:`repro.sharding.ShardedIndex`; 0 for unsharded
+        indexes).
+    shards_pruned:
+        Shards skipped entirely because their MBB missed the query
+        window — the sharding layer's analogue of ``nodes_visited``
+        pruning.
     """
 
     queries: int = 0
@@ -68,6 +76,8 @@ class IndexStats:
     inserts: int = 0
     deletes: int = 0
     merges: int = 0
+    shards_visited: int = 0
+    shards_pruned: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -80,6 +90,8 @@ class IndexStats:
         self.inserts = 0
         self.deletes = 0
         self.merges = 0
+        self.shards_visited = 0
+        self.shards_pruned = 0
 
     def snapshot(self) -> IndexStats:
         """A frozen copy of the current counter values."""
@@ -93,6 +105,8 @@ class IndexStats:
             inserts=self.inserts,
             deletes=self.deletes,
             merges=self.merges,
+            shards_visited=self.shards_visited,
+            shards_pruned=self.shards_pruned,
         )
 
 

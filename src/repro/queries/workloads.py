@@ -19,7 +19,9 @@ the dataset extent).
 
 Beyond the paper, :func:`mixed_workload` interleaves window queries with
 insert/delete batches — the update subsystem's mixed read/write scenario
-(the paper leaves updates as future work; see :mod:`repro.updates`).
+(the paper leaves updates as future work; see :mod:`repro.updates`) —
+and :func:`hotspot_workload` generates the skewed 90/10 serving traffic
+the sharding bench uses to study shard balance and pruning.
 """
 
 from __future__ import annotations
@@ -181,6 +183,64 @@ def sequential_workload(
     for k in range(n_queries):
         # Sweep wraps around once the window reaches the universe edge.
         center[dim] = uni_lo[dim] + side / 2 + ((k * step) % span)
+        queries.append(RangeQuery(_window_at(center, side, universe), seq=k))
+    return queries
+
+
+def hotspot_workload(
+    universe: Box,
+    n_queries: int = 1000,
+    volume_fraction: float = 1e-3,
+    hotspot_fraction: float = 0.9,
+    hotspot_volume: float = 0.05,
+    seed: int = 0,
+) -> list[RangeQuery]:
+    """A skewed serving workload: most queries land inside one hot region.
+
+    The classic 90/10 pattern of serving traffic: ``hotspot_fraction`` of
+    the queries draw their centers from a single randomly placed sub-box
+    occupying ``hotspot_volume`` of the universe; the rest are uniform.
+    The sharding bench uses it to measure shard *imbalance* (a spatial
+    partitioning concentrates the hot queries on few shards) and what
+    MBB pruning is worth when traffic is not uniform.
+
+    Parameters
+    ----------
+    universe:
+        Box to draw query centers from.
+    n_queries:
+        Number of queries.
+    volume_fraction:
+        Per-query window volume as a fraction of the universe volume.
+    hotspot_fraction:
+        Fraction of queries whose centers fall in the hot region.
+    hotspot_volume:
+        Hot region volume as a fraction of the universe volume.
+    seed:
+        RNG seed.
+    """
+    if n_queries < 1:
+        raise ConfigurationError(f"need at least one query, got {n_queries}")
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ConfigurationError(
+            f"hotspot_fraction must be in [0, 1], got {hotspot_fraction}"
+        )
+    if not 0.0 < hotspot_volume <= 1.0:
+        raise ConfigurationError(
+            f"hotspot_volume must be in (0, 1], got {hotspot_volume}"
+        )
+    rng = np.random.default_rng(seed)
+    side = side_for_volume_fraction(universe, volume_fraction)
+    hot_side = side_for_volume_fraction(universe, hotspot_volume)
+    uni_lo = np.asarray(universe.lo)
+    uni_hi = np.asarray(universe.hi)
+    hot_lo = rng.uniform(uni_lo, np.maximum(uni_hi - hot_side, uni_lo))
+    hot_hi = np.minimum(hot_lo + hot_side, uni_hi)
+    in_hotspot = rng.uniform(size=n_queries) < hotspot_fraction
+    queries: list[RangeQuery] = []
+    for k in range(n_queries):
+        lo, hi = (hot_lo, hot_hi) if in_hotspot[k] else (uni_lo, uni_hi)
+        center = rng.uniform(lo, hi)
         queries.append(RangeQuery(_window_at(center, side, universe), seq=k))
     return queries
 

@@ -1,0 +1,48 @@
+"""The sharded serving engine: spatial partitioning + parallel fan-out.
+
+This package scales the single-process QUASII reproduction toward the
+ROADMAP's production-serving north star by adopting the
+partition-then-search architecture of the learned-spatial-index and
+LiLIS lines of work, while keeping per-shard incremental cracking
+intact:
+
+* :class:`Partitioner` / :class:`STRPartitioner` /
+  :class:`RoundRobinPartitioner` — build-time row splits and insert-time
+  routing policies (:data:`PARTITIONERS` is the registry).
+* :class:`Shard` — one shard: a private :class:`BoxStore` copy, its own
+  index, and the MBB used for query pruning.
+* :class:`ShardedIndex` — the engine: the full
+  :class:`~repro.index.base.MutableSpatialIndex` contract over K shards
+  with pruned fan-out queries, merged + deduplicated results, and
+  ownership-routed inserts/deletes.
+* :class:`QueryExecutor` / :class:`BatchResult` — batch execution with
+  shard affinity on a thread pool, and a sequential fallback.
+
+The ``shard-scaling`` bench experiment (``quasii-bench shard-scaling``)
+measures batch throughput, pruning, and balance across shard and worker
+counts.
+"""
+
+from repro.sharding.executor import BatchResult, QueryExecutor
+from repro.sharding.partitioner import (
+    PARTITIONERS,
+    Partitioner,
+    RoundRobinPartitioner,
+    STRPartitioner,
+    make_partitioner,
+)
+from repro.sharding.shard import Shard
+from repro.sharding.sharded_index import IndexFactory, ShardedIndex
+
+__all__ = [
+    "BatchResult",
+    "IndexFactory",
+    "PARTITIONERS",
+    "Partitioner",
+    "QueryExecutor",
+    "RoundRobinPartitioner",
+    "STRPartitioner",
+    "Shard",
+    "ShardedIndex",
+    "make_partitioner",
+]

@@ -1,0 +1,63 @@
+"""One shard of the serving engine: a private store plus its own index.
+
+A :class:`Shard` owns a *copy* of its slice of the data — incremental
+indexes (QUASII) physically permute their store, so shards cannot share
+row ranges of one array — and whatever :class:`SpatialIndex` the factory
+built over it.  The shard tracks its minimum bounding box for query
+pruning; the MBB is exact at build time, *expands* when routed inserts
+arrive (covering rows an index may still hold in its update buffer), and
+deliberately never shrinks on delete (a loose MBB is conservative: it
+can only cost a wasted visit, never a missed result).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.index.base import SpatialIndex
+
+_INF = float("inf")
+
+
+class Shard:
+    """A shard id, its private :class:`BoxStore`, its index, and its MBB."""
+
+    __slots__ = ("sid", "store", "index", "mbb_lo", "mbb_hi")
+
+    def __init__(self, sid: int, store: BoxStore, index: SpatialIndex) -> None:
+        self.sid = sid
+        self.store = store
+        self.index = index
+        if store.n:
+            bounds = store.bounds()
+            self.mbb_lo = np.asarray(bounds.lo, dtype=np.float64).copy()
+            self.mbb_hi = np.asarray(bounds.hi, dtype=np.float64).copy()
+        else:
+            # Inverted box: intersects nothing, merges as the identity.
+            self.mbb_lo = np.full(store.ndim, _INF)
+            self.mbb_hi = np.full(store.ndim, -_INF)
+
+    @property
+    def live_count(self) -> int:
+        """Live rows currently owned by this shard."""
+        return self.store.live_count
+
+    def expand(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        """Grow the MBB to cover an insert batch routed to this shard."""
+        if lo.shape[0]:
+            self.mbb_lo = np.minimum(self.mbb_lo, lo.min(axis=0))
+            self.mbb_hi = np.maximum(self.mbb_hi, hi.max(axis=0))
+
+    def memory_bytes(self) -> int:
+        """Footprint of the shard's private store copy plus its index."""
+        store_bytes = int(
+            self.store.lo.nbytes
+            + self.store.hi.nbytes
+            + self.store.ids.nbytes
+            + self.store.live.nbytes
+        )
+        return store_bytes + self.index.memory_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Shard(sid={self.sid}, n={self.store.n}, index={self.index.name})"

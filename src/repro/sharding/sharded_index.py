@@ -1,0 +1,369 @@
+"""The sharded serving engine: K shards, fan-out queries, routed updates.
+
+:class:`ShardedIndex` turns one :class:`~repro.datasets.store.BoxStore`
+into a partition-then-search architecture ("The Case for Learned Spatial
+Indexes" shows this layout dominating monolithic structures; LiLIS builds
+a distributed framework the same way): a
+:class:`~repro.sharding.partitioner.Partitioner` splits the rows into
+``n_shards`` spatial tiles, an index factory builds one
+:class:`SpatialIndex` per shard (QUASII by default, so every shard keeps
+*cracking adaptively* on its own slice forest), and the engine exposes
+the full :class:`MutableSpatialIndex` contract over the fleet:
+
+* **Queries** fan out only to shards whose MBB intersects the window
+  (``shards_visited`` / ``shards_pruned`` count the pruning), and the
+  per-shard id sets are merged and deduplicated.
+* **Inserts** are routed to an owning shard by the partitioner's
+  :meth:`~repro.sharding.partitioner.Partitioner.route` policy; the
+  shard's MBB expands to cover the new rows immediately (they may sit in
+  the shard index's update buffer, and pruning must never skip them).
+* **Deletes** are routed by the id→shard ownership map the engine
+  maintains, so only owning shards do any work.
+
+The store handed to the constructor remains the engine's *ingest
+mirror*: shards own private copies of their rows (incremental shard
+indexes physically permute them), while every insert is also appended to
+— and every delete tombstoned in — the outer store.  The outer store
+therefore keeps satisfying the documented multiset-of-live-rows
+invariant (ledger checks work unchanged), and the shared id-allocation /
+validation gate stays exact across shards.
+
+Batches of queries can be executed across shards in parallel with
+:class:`~repro.sharding.executor.QueryExecutor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.errors import ConfigurationError, DatasetError
+from repro.geometry.predicates import boxes_intersect_window
+from repro.index.base import MutableSpatialIndex, SpatialIndex
+from repro.queries.range_query import RangeQuery
+from repro.sharding.partitioner import Partitioner, make_partitioner
+from repro.sharding.shard import Shard
+
+#: Builds the per-shard index over a shard's private store.
+IndexFactory = Callable[[BoxStore], SpatialIndex]
+
+
+def _default_factory(store: BoxStore) -> SpatialIndex:
+    from repro.core.quasii import QuasiiIndex
+
+    return QuasiiIndex(store)
+
+
+class ShardedIndex(MutableSpatialIndex):
+    """K per-shard indexes behind one :class:`MutableSpatialIndex` facade.
+
+    Parameters
+    ----------
+    store:
+        The data array; partitioned at :meth:`build` time.  Kept as the
+        ingest mirror afterwards (see the module docstring) — shards
+        work on private copies of their rows.
+    n_shards:
+        Number of shards ``K >= 1``.
+    partitioner:
+        Strategy name (``"str"`` or ``"round-robin"``) or a
+        :class:`Partitioner` instance.
+    index_factory:
+        Callable building one index per shard store; defaults to
+        :class:`~repro.core.quasii.QuasiiIndex`.
+
+    Examples
+    --------
+    >>> from repro.datasets import make_uniform
+    >>> from repro.queries import uniform_workload
+    >>> ds = make_uniform(10_000, seed=7)
+    >>> engine = ShardedIndex(ds.store, n_shards=4)
+    >>> engine.build()                      # STR split + per-shard indexes
+    >>> for q in uniform_workload(ds.universe, 5, seed=7):
+    ...     ids = engine.query(q)           # fans out, prunes, merges
+    """
+
+    name = "Sharded"
+
+    def __init__(
+        self,
+        store: BoxStore,
+        n_shards: int = 4,
+        partitioner: str | Partitioner = "str",
+        index_factory: IndexFactory | None = None,
+    ) -> None:
+        super().__init__(store)
+        if n_shards < 1:
+            raise ConfigurationError(f"need n_shards >= 1, got {n_shards}")
+        self._n_shards = int(n_shards)
+        self._partitioner = make_partitioner(partitioner)
+        self._factory: IndexFactory = index_factory or _default_factory
+        self._shards: list[Shard] = []
+        #: id -> owning shard sid, maintained for every *live* object.
+        self._owner: dict[int, int] = {}
+        # Stacked (k, d) shard MBBs so planning prunes the whole fleet
+        # with one vectorized intersection test; rebuilt lazily after
+        # shard MBBs expand.
+        self._stack_lo: np.ndarray | None = None
+        self._stack_hi: np.ndarray | None = None
+        # Fleet work totals already rolled into self.stats (so roll-ups
+        # survive an outer stats.reset() without double counting).
+        self._work_seen = dict.fromkeys(self._WORK_COUNTERS, 0)
+        self.name = f"Sharded[{self._partitioner.name}x{self._n_shards}]"
+
+    #: Shard-level work counters mirrored into the engine's stats; the
+    #: flow counters (queries, inserts, results...) are engine-maintained
+    #: and must NOT be rolled up, or they would double count.
+    _WORK_COUNTERS = (
+        "objects_tested",
+        "nodes_visited",
+        "cracks",
+        "rows_reorganized",
+        "merges",
+    )
+
+    def sync_shard_work(self) -> None:
+        """Fold the fleet's work counters into this engine's stats.
+
+        Called after every query (and by the executor after every batch)
+        so harnesses that read ``engine.stats`` see the whole fleet's
+        objects tested, cracks, rows moved, and merges.
+        """
+        for name in self._WORK_COUNTERS:
+            total = sum(getattr(s.index.stats, name) for s in self._shards)
+            delta = total - self._work_seen[name]
+            if delta:
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+                self._work_seen[name] = total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (fixed at construction)."""
+        return self._n_shards
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        """The shard fleet (read-only view; built after :meth:`build`)."""
+        return tuple(self._shards)
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The partitioning strategy in use."""
+        return self._partitioner
+
+    def owner_of(self, obj_id: int) -> int:
+        """Owning shard sid of a live object id (raises if not live)."""
+        try:
+            return self._owner[int(obj_id)]
+        except KeyError:
+            raise DatasetError(f"id {obj_id} is not live in any shard") from None
+
+    def shard_sizes(self) -> list[int]:
+        """Live row count per shard (the balance profile)."""
+        return [s.live_count for s in self._shards]
+
+    def balance_factor(self) -> float:
+        """Max/mean live rows across shards (1.0 = perfectly balanced)."""
+        sizes = self.shard_sizes()
+        mean = sum(sizes) / len(sizes) if sizes else 0.0
+        return max(sizes) / mean if mean > 0 else 1.0
+
+    def memory_bytes(self) -> int:
+        """Shard store copies plus per-shard index structures."""
+        # ~60 bytes per ownership-map entry is the CPython dict ballpark.
+        return sum(s.memory_bytes() for s in self._shards) + 60 * len(self._owner)
+
+    # ------------------------------------------------------------------
+    # Build: partition + per-shard index construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Partition the store's live rows and build one index per shard."""
+        if self._built:
+            return
+        store = self._store
+        rows = store.live_rows()
+        owners = self._partitioner.assign(store.lo[rows], store.hi[rows], self._n_shards)
+        for sid in range(self._n_shards):
+            mine = rows[owners == sid]
+            shard_store = BoxStore(
+                store.lo[mine].copy(), store.hi[mine].copy(), store.ids[mine].copy()
+            )
+            index = self._factory(shard_store)
+            if index.store is not shard_store:
+                raise ConfigurationError(
+                    "index_factory must build the index over the shard store "
+                    "it was given"
+                )
+            index.build()
+            self._shards.append(Shard(sid, shard_store, index))
+        copied = sum(s.store.n for s in self._shards)
+        if copied != rows.size:
+            raise ConfigurationError(
+                f"partitioner {self._partitioner.name!r} assigned {copied} "
+                f"of {rows.size} rows to shards 0..{self._n_shards - 1}"
+            )
+        ids = store.ids[rows]
+        self._owner = dict(zip(ids.tolist(), owners.tolist()))
+        self._seen_epoch = store.epoch
+        self._built = True
+
+    # ------------------------------------------------------------------
+    # Queries: prune, fan out, merge
+    # ------------------------------------------------------------------
+    def _mbb_stacks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked shard MBBs, rebuilt if inserts expanded any shard."""
+        if self._stack_lo is None:
+            self._stack_lo = np.stack([s.mbb_lo for s in self._shards])
+            self._stack_hi = np.stack([s.mbb_hi for s in self._shards])
+        return self._stack_lo, self._stack_hi
+
+    def plan(self, query: RangeQuery) -> list[Shard]:
+        """Shards whose MBB intersects the window, updating prune counters.
+
+        One vectorized intersection test over the stacked shard MBBs.
+        The :class:`~repro.sharding.executor.QueryExecutor` calls this on
+        the coordinating thread so counter updates never race; shard-local
+        work then proceeds in parallel.
+        """
+        stack_lo, stack_hi = self._mbb_stacks()
+        hits = np.flatnonzero(
+            boxes_intersect_window(stack_lo, stack_hi, query.lo, query.hi)
+        )
+        self.stats.shards_visited += int(hits.size)
+        self.stats.shards_pruned += self._n_shards - int(hits.size)
+        return [self._shards[i] for i in hits]
+
+    def _query(self, query: RangeQuery) -> np.ndarray:
+        if not self._built:
+            raise ConfigurationError(
+                "ShardedIndex queried before build(); call build() first"
+            )
+        parts = [
+            shard.index.query(query) for shard in self.plan(query)
+        ]
+        result = self._merge(parts)
+        self.sync_shard_work()
+        return result
+
+    @staticmethod
+    def _merge(parts: Sequence[np.ndarray]) -> np.ndarray:
+        """Merge + deduplicate per-shard id sets (ownership is exclusive,
+        so duplicates indicate a routing bug — unique keeps the contract
+        airtight whenever shard sets actually combine; a single
+        contributing shard cannot self-duplicate, so its set passes
+        through without paying the sort)."""
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.unique(np.concatenate(parts))
+
+    # ------------------------------------------------------------------
+    # Updates: shard-aware routing
+    # ------------------------------------------------------------------
+    def _insert(
+        self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None
+    ) -> np.ndarray:
+        if not self._built:
+            # Pre-build rows just join the ingest store; build() sweeps
+            # them into the initial partitioning.
+            return self._store.append_validated(lo, hi, ids)
+        # Reject a read-only fleet *before* touching the ingest mirror —
+        # failing after the append would leave the mirror ahead of the
+        # engine's epoch and brick every later query.
+        self._require_mutable_shards()
+        # Explicit-id collisions are fully covered by the mirror's shared
+        # gate (validate_batch in the base class): every id ever owned by
+        # a shard was first appended to the mirror, so the mirror's id
+        # set is a superset of the ownership map's keys.
+        assigned = self._store.append_validated(lo, hi, ids)
+        if not assigned.size:
+            return assigned
+        stack_lo, stack_hi = self._mbb_stacks()
+        targets = self._partitioner.route(
+            lo,
+            hi,
+            stack_lo,
+            stack_hi,
+            np.asarray(self.shard_sizes(), dtype=np.int64),
+        )
+        for sid in np.unique(targets):
+            shard = self._shards[int(sid)]
+            mine = targets == sid
+            shard.index.insert(lo[mine], hi[mine], assigned[mine])
+            shard.expand(lo[mine], hi[mine])
+        self._stack_lo = self._stack_hi = None
+        for obj_id, sid in zip(assigned.tolist(), targets.tolist()):
+            self._owner[obj_id] = int(sid)
+        self.sync_shard_work()
+        return assigned
+
+    def _require_mutable_shards(self) -> None:
+        """Raise before any mutation if the fleet cannot absorb updates."""
+        for shard in self._shards:
+            if not isinstance(shard.index, MutableSpatialIndex):
+                raise ConfigurationError(
+                    f"shard index {shard.index.name!r} does not support "
+                    "updates; use a MutableSpatialIndex factory"
+                )
+
+    def _delete(self, ids: np.ndarray) -> int:
+        if not self._built:
+            return self._store.delete_ids(ids)
+        self._require_mutable_shards()
+        id_list = np.unique(ids).tolist()
+        missing = [i for i in id_list if i not in self._owner]
+        if missing:
+            raise DatasetError(
+                f"cannot delete ids not live in any shard: {missing[:5]}"
+            )
+        # Tombstone the ingest mirror first (all-or-nothing with the
+        # ownership check above), then fan the batch out by owner.
+        removed = self._store.delete_ids(np.asarray(id_list, dtype=np.int64))
+        by_shard: dict[int, list[int]] = {}
+        for obj_id in id_list:
+            by_shard.setdefault(self._owner.pop(obj_id), []).append(obj_id)
+        for sid, victims in by_shard.items():
+            self._shards[sid].index.delete(np.asarray(victims, dtype=np.int64))
+        self.sync_shard_work()
+        return removed
+
+    def pending_updates(self) -> int:
+        """Rows staged in shard-level update buffers, fleet-wide."""
+        return sum(
+            s.index.pending_updates()
+            for s in self._shards
+            if isinstance(s.index, MutableSpatialIndex)
+        )
+
+    def validate_routing(self) -> None:
+        """Assert the ownership map matches shard stores exactly (tests)."""
+        seen: dict[int, int] = {}
+        for shard in self._shards:
+            store = shard.store
+            live = store.ids[store.live_rows()]
+            for obj_id in live.tolist():
+                assert obj_id not in seen, f"id {obj_id} owned by two shards"
+                seen[obj_id] = shard.sid
+                assert self._owner.get(obj_id) == shard.sid, (
+                    f"id {obj_id} mapped to shard {self._owner.get(obj_id)} "
+                    f"but stored in shard {shard.sid}"
+                )
+        # Buffered (not yet merged) rows are owned but not yet in stores.
+        unmapped = set(self._owner) - set(seen)
+        assert len(unmapped) == self.pending_updates(), (
+            f"{len(unmapped)} owned-but-unstored ids vs "
+            f"{self.pending_updates()} pending buffer rows"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedIndex(n_shards={self._n_shards}, "
+            f"partitioner={self._partitioner.name!r}, built={self._built})"
+        )

@@ -53,6 +53,8 @@ class MixedRunResult:
     inserts: int = 0
     deletes: int = 0
     merges: int = 0
+    shards_visited: int = 0
+    shards_pruned: int = 0
     final_live: int = 0
 
     @property
@@ -153,5 +155,9 @@ def run_mixed_workload(
     result.inserts = after.inserts - before.inserts
     result.deletes = after.deletes - before.deletes
     result.merges = after.merges - before.merges
+    # Nonzero only for sharded targets (repro.sharding.ShardedIndex):
+    # how many shard visits the fan-out paid vs. skipped over the run.
+    result.shards_visited = after.shards_visited - before.shards_visited
+    result.shards_pruned = after.shards_pruned - before.shards_pruned
     result.final_live = int(live.size)
     return result

@@ -212,3 +212,93 @@ class TestGuttman:
         b.build()
         t_guttman = time.perf_counter() - t0
         assert t_str < t_guttman
+
+
+class TestDeleteCondensing:
+    """Deletes re-tighten leaf MBRs and prune dead structure."""
+
+    def _outlier_store(self, n=400, seed=21):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(0, 100, size=(n, 2))
+        hi = lo + rng.uniform(0, 3, size=(n, 2))
+        lo[0] = [900.0, 900.0]
+        hi[0] = [901.0, 901.0]
+        return BoxStore(lo, hi)
+
+    def test_root_mbr_shrinks_after_outlier_delete(self):
+        index = RTreeIndex(self._outlier_store(), capacity=8)
+        index.build()
+        assert index.root.hi[0] > 900
+        index.delete(np.array([0]))
+        assert index.root.hi[0] < 200
+
+    def test_post_delete_queries_skip_dead_space(self):
+        index = RTreeIndex(self._outlier_store(), capacity=8)
+        index.build()
+        index.delete(np.array([0]))
+        before = index.stats.objects_tested
+        dead = RangeQuery(Box((880.0, 880.0), (950.0, 950.0)), seq=0)
+        assert index.query(dead).size == 0
+        assert index.stats.objects_tested == before
+
+    def test_leaves_drop_dead_rows(self):
+        store = self._outlier_store()
+        index = RTreeIndex(store, capacity=8)
+        index.build()
+        victims = store.ids[store.live_rows()][:50]
+        index.delete(victims)
+
+        def live_leaf_rows(node):
+            if node.is_leaf:
+                return node.rows.tolist()
+            return [r for c in node.children for r in live_leaf_rows(c)]
+
+        rows = live_leaf_rows(index.root)
+        assert len(rows) == store.live_count
+        assert len(set(rows)) == len(rows)
+        assert not np.isin(rows, np.flatnonzero(~store.live)).any()
+
+    def test_parent_mbrs_stay_covering_after_deletes(self):
+        store = self._outlier_store()
+        index = RTreeIndex(store, capacity=8)
+        index.build()
+        rng = np.random.default_rng(5)
+        live = store.ids[store.live_rows()]
+        index.delete(rng.choice(live, size=150, replace=False))
+
+        def check(node):
+            if node.is_leaf:
+                assert np.all(store.lo[node.rows] >= node.lo - 1e-9)
+                assert np.all(store.hi[node.rows] <= node.hi + 1e-9)
+                return
+            for child in node.children:
+                assert np.all(child.lo >= node.lo - 1e-9)
+                assert np.all(child.hi <= node.hi + 1e-9)
+                check(child)
+
+        check(index.root)
+
+    def test_deleting_everything_empties_the_tree(self):
+        store = self._outlier_store(n=60)
+        index = RTreeIndex(store, capacity=4)
+        index.build()
+        index.delete(store.ids[store.live_rows()])
+        assert index.root is None
+        assert index.height() == 0
+        full = RangeQuery(Box((-10.0, -10.0), (1000.0, 1000.0)), seq=0)
+        assert index.query(full).size == 0
+        # The tree restarts from scratch on the next insert.
+        new = index.insert(np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]]))
+        assert np.array_equal(np.sort(index.query(full)), np.sort(new))
+
+    def test_guttman_inserted_rows_condense_too(self):
+        ds = make_uniform(300, seed=22)
+        index = RTreeIndex(ds.store, capacity=8)
+        index.build()
+        new = index.insert(
+            np.array([[20000.0, 20000.0, 20000.0]]),
+            np.array([[20001.0, 20001.0, 20001.0]]),
+        )
+        assert index.root.hi[0] > 10000
+        index.delete(new)
+        assert index.root.hi[0] < 11000

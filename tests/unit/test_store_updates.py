@@ -164,3 +164,40 @@ class TestInvariantSurface:
         store = _small_store(4)
         store.delete_ids(np.array([1]))
         assert store.live_rows().tolist() == [0, 2, 3]
+
+
+class TestDeletePrimitives:
+    """find_live_rows / tombstone_rows: the two halves of delete_ids."""
+
+    def test_find_live_rows_resolves_positions(self):
+        store = _small_store(5)
+        assert store.find_live_rows(np.array([1, 3])).tolist() == [1, 3]
+
+    def test_find_live_rows_rejects_unknown_and_dead(self):
+        store = _small_store(5)
+        with pytest.raises(DatasetError, match="not live"):
+            store.find_live_rows(np.array([99]))
+        store.delete_ids(np.array([2]))
+        with pytest.raises(DatasetError, match="not live"):
+            store.find_live_rows(np.array([2]))
+
+    def test_find_live_rows_does_not_mutate(self):
+        store = _small_store(5)
+        epoch = store.epoch
+        store.find_live_rows(np.array([0]))
+        assert store.epoch == epoch and store.n_dead == 0
+
+    def test_tombstone_rows_matches_delete_ids(self):
+        a = _small_store(6)
+        b = a.copy()
+        assert a.delete_ids(np.array([1, 4])) == 2
+        assert b.tombstone_rows(b.find_live_rows(np.array([1, 4]))) == 2
+        assert a.live_fingerprint() == b.live_fingerprint()
+        assert a.epoch == b.epoch
+
+    def test_empty_batches_are_noops(self):
+        store = _small_store(3)
+        epoch = store.epoch
+        assert store.find_live_rows(np.empty(0, dtype=np.int64)).size == 0
+        assert store.tombstone_rows(np.empty(0, dtype=np.int64)) == 0
+        assert store.epoch == epoch
