@@ -18,7 +18,9 @@ cell assignments are computed immediately and kept in a small overflow
 extension of the CSR layout, which queries probe alongside the main
 arrays; once the overflow outgrows ``merge_threshold`` entries it is
 compacted into a fresh CSR (one ``merges`` counter tick).  Deletes are
-store-level tombstones filtered at candidate-test time.
+store-level tombstones filtered at candidate-test time; a store
+compaction remaps CSR/overflow entries through the position map and
+sheds dead ones (no cell recomputation, no re-sort).
 """
 
 from __future__ import annotations
@@ -231,6 +233,33 @@ class UniformGridIndex(MutableSpatialIndex):
     def pending_updates(self) -> int:
         """Overflow entries not yet compacted into the CSR arrays."""
         return int(self._overflow_flat.size)
+
+    def _on_compaction(self, remap: np.ndarray) -> None:
+        """Remap CSR and overflow entries; drop entries of dead rows.
+
+        Cell assignment depends only on geometry, which compaction does
+        not change, so no cells are recomputed and no entries re-sorted:
+        row indices pass through ``remap``, entries of dropped rows
+        vanish, and the per-cell offsets shrink accordingly.
+        """
+        if self._sorted_rows is not None:
+            # Reconstruct each entry's flat cell from the CSR offsets.
+            flat = np.repeat(
+                np.arange(self._offsets.size - 1, dtype=np.int64),
+                np.diff(self._offsets),
+            )
+            rows = remap[self._sorted_rows]
+            keep = rows >= 0
+            self._sorted_rows = rows[keep]
+            counts = np.bincount(
+                flat[keep], minlength=self._parts**self._store.ndim
+            )
+            self._offsets = np.concatenate(([0], np.cumsum(counts)))
+        if self._overflow_rows.size:
+            rows = remap[self._overflow_rows]
+            keep = rows >= 0
+            self._overflow_rows = rows[keep]
+            self._overflow_flat = self._overflow_flat[keep]
 
     # ------------------------------------------------------------------
     # Query

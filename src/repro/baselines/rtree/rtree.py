@@ -188,6 +188,38 @@ class RTreeIndex(MutableSpatialIndex):
         node.recompute_mbr()
         return False
 
+    def _on_compaction(self, remap: np.ndarray) -> None:
+        """Remap leaf row vectors; drop any straggler dead entries.
+
+        Delete-time condensing already removed victims from their
+        leaves, so normally this only rewrites row indices.  Any dead
+        row a leaf still references (e.g. a tree handed a store that was
+        tombstoned before this index adopted it) is dropped here, with
+        emptied nodes pruned and MBRs re-tightened on the way up.
+        """
+        if self._root is not None and self._remap_node(self._root, remap):
+            self._root = None
+
+    def _remap_node(self, node: RTreeNode, remap: np.ndarray) -> bool:
+        """Remap the subtree; returns True when it is left empty."""
+        if node.is_leaf:
+            rows = remap[node.rows]
+            dropped = rows.size and (rows < 0).any()
+            node.rows = rows[rows >= 0]
+            if node.rows.size == 0:
+                return True
+            if dropped:
+                node.lo = self._store.lo[node.rows].min(axis=0)
+                node.hi = self._store.hi[node.rows].max(axis=0)
+            return False
+        survivors = [c for c in node.children if not self._remap_node(c, remap)]
+        if not survivors:
+            return True
+        if len(survivors) != len(node.children):
+            node.children = survivors
+            node.recompute_mbr()
+        return False
+
     def height(self) -> int:
         """Tree height (levels); 0 for a built-but-empty tree."""
         if self._root is None:

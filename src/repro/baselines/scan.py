@@ -39,3 +39,6 @@ class ScanIndex(MutableSpatialIndex):
     ) -> np.ndarray:
         """Appended rows are scanned like any others — nothing to update."""
         return self._store.append_validated(lo, hi, ids)
+
+    def _on_compaction(self, remap: np.ndarray) -> None:
+        """No derived state: a compacted store is just a shorter scan."""

@@ -6,6 +6,7 @@ Examples::
     quasii-bench fig7 fig8 --scale smoke  # quick versions of two figures
     quasii-bench shard-scaling            # sharded serving engine sweep
     quasii-bench mixed-workload           # update subsystem, incl. sharded
+    quasii-bench compaction               # reclaim tombstoned rows: before/after
     quasii-bench all --scale small        # every figure at default scale
 """
 

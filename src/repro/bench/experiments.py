@@ -83,6 +83,9 @@ class Scale:
     mixed_ops: int = 600               # interleaved operations per run
     mixed_write_batch: int = 16        # objects per insert/delete batch
     mixed_ratios: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5)
+    # Compaction experiment (delete-heavy maintenance; beyond the paper):
+    compaction_queries: int = 400      # batch replayed before/after compact
+    compaction_delete_fraction: float = 0.6  # rows tombstoned first
     # Sharded serving engine (sharding subsystem; beyond the paper):
     shard_counts: tuple[int, ...] = (1, 2, 4, 8)   # K sweep
     shard_workers: tuple[int, ...] = (1, 2, 4)     # thread pool widths
@@ -114,6 +117,7 @@ SCALES: dict[str, Scale] = {
         mixed_ops=200,
         mixed_write_batch=8,
         mixed_ratios=(0.0, 0.3),
+        compaction_queries=100,
         shard_counts=(1, 2, 4),
         shard_workers=(1, 2),
         shard_queries=200,
@@ -1158,6 +1162,123 @@ def mixed_workload_experiment(scale: Scale) -> ExperimentReport:
 
 
 # ----------------------------------------------------------------------
+# Compaction (delete-heavy maintenance; beyond the paper)
+# ----------------------------------------------------------------------
+def compaction_experiment(scale: Scale) -> ExperimentReport:
+    """Query cost before vs after physically reclaiming tombstoned rows.
+
+    The delete-heavy maintenance scenario: each update-capable index
+    first converges on a query batch, then a majority of the live rows
+    are deleted (tombstoned) through the index, the same batch replays
+    over the tombstoned store, the index compacts, and the batch replays
+    once more.  The before/after delta is the price of dead rows: leaf
+    and cell scans that still touch tombstones, slice/shard MBBs
+    inflated by deleted objects, and CSR entries pointing at corpses.
+    Compaction is charged separately (one column) — like cracking, it is
+    maintenance work paid off the query path.
+    """
+    report = ExperimentReport(
+        "compaction",
+        "Physical compaction of tombstoned rows: per-query latency and "
+        "scanned rows before/after reclaiming dead space under a "
+        "delete-heavy workload",
+    )
+    ds = _uniform(scale, min(scale.uniform_n, 150_000))
+    queries = uniform_workload(
+        ds.universe, scale.compaction_queries, scale.uniform_fraction,
+        seed=scale.seed + 12,
+    )
+
+    def replay(index) -> tuple[float, int]:
+        """Median per-query ms and scanned-row total over the batch."""
+        times = []
+        before = index.stats.snapshot()
+        for q in queries:
+            t0 = time.perf_counter()
+            index.query(q)
+            times.append(time.perf_counter() - t0)
+        scanned = index.stats.objects_tested - before.objects_tested
+        return float(np.median(times)) * 1000.0, int(scanned)
+
+    rows = []
+    quasii_scan_reduction = quasii_speedup = 0.0
+    for kind in ("Scan", "Grid", "R-Tree", "QUASII", "Sharded"):
+        index = _fresh_index(kind, ds, scale)
+        index.build()
+        for q in queries:  # converge/refine before anything is measured
+            index.query(q)
+        store = index.store
+        live = np.sort(store.ids[store.live_rows()])
+        victims = np.random.default_rng(scale.seed + 13).choice(
+            live,
+            size=int(live.size * scale.compaction_delete_fraction),
+            replace=False,
+        )
+        index.delete(victims)
+        ms_before, scanned_before = replay(index)
+        t0 = time.perf_counter()
+        reclaimed = index.compact()
+        compact_ms = (time.perf_counter() - t0) * 1000.0
+        ms_after, scanned_after = replay(index)
+        if isinstance(index, QuasiiIndex):
+            index.validate_structure()
+            quasii_scan_reduction = scanned_before / max(scanned_after, 1)
+            quasii_speedup = ms_before / max(ms_after, 1e-9)
+        rows.append(
+            [
+                index.name,
+                len(victims),
+                reclaimed,
+                round(compact_ms, 2),
+                scanned_before,
+                scanned_after,
+                round(scanned_before / max(scanned_after, 1), 2),
+                round(ms_before, 3),
+                round(ms_after, 3),
+                round(ms_before / max(ms_after, 1e-9), 2),
+                "yes" if store.n == store.live_count else "NO",
+            ]
+        )
+    report.add_table(
+        f"{len(queries)} uniform queries on {ds.n:,} objects; "
+        f"{scale.compaction_delete_fraction:.0%} of rows deleted before "
+        f"the tombstoned replay",
+        [
+            "index",
+            "deleted",
+            "rows reclaimed",
+            "compact (ms)",
+            "scanned (tombstoned)",
+            "scanned (compacted)",
+            "scan reduction x",
+            "median q (ms, tombstoned)",
+            "median q (ms, compacted)",
+            "speedup x",
+            "n == live",
+        ],
+        rows,
+    )
+    report.add_note(
+        "expected shape: every index answers identically before and after "
+        "(the live multiset is invariant) but cheaper after — Scan's and "
+        "QUASII's scanned rows drop by ~the deleted fraction (leaf scans "
+        "stop paying for tombstones), the grid sheds dead CSR entries, "
+        "the sharded engine re-tightens its pruning MBBs; the R-Tree "
+        "changes least because delete-time condensing already dropped "
+        "victims from its leaves.  Measured QUASII: "
+        f"{quasii_scan_reduction:.2f}x fewer scanned rows, "
+        f"{quasii_speedup:.2f}x median-latency speedup"
+    )
+    report.add_note(
+        "compaction cost (the 'compact (ms)' column) is one stable pass "
+        "over the store plus an index remap — pay it once, then every "
+        "later query stops touching dead space; the serving engine can "
+        "instead trickle it per shard via maybe_compact(dead_fraction)"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
 # Shard scaling (sharding subsystem; beyond the paper)
 # ----------------------------------------------------------------------
 def shard_scaling(scale: Scale) -> ExperimentReport:
@@ -1397,6 +1518,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[Scale], ExperimentReport], str]] = {
     "mixed-workload": (
         mixed_workload_experiment,
         "mixed read/write workloads (update subsystem)",
+    ),
+    "compaction": (
+        compaction_experiment,
+        "physical compaction: query cost before/after reclaiming tombstones",
     ),
     "shard-scaling": (
         shard_scaling,

@@ -25,7 +25,11 @@ The index therefore maintains a *forest* of top-level slice lists — the
 original hierarchy plus one per absorbed run — each converging
 independently under the queries that touch it.  Deletes tombstone rows in
 place (slice ranges stay valid; leaf scans skip dead rows via the store's
-live mask).
+live mask); :meth:`~repro.index.base.MutableSpatialIndex.compact`
+physically reclaims the tombstones and *defragments* the forest — slice
+ranges remap through the compaction's position map, emptied slices drop,
+hollowed-out fragments merge back together, and final-slice MBBs
+re-tighten to the surviving rows.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ from repro.core.cracking import (
 )
 from repro.core.slices import Slice, SliceList
 from repro.datasets.store import BoxStore
-from repro.errors import ConfigurationError, DatasetError
+from repro.errors import ConfigurationError
 from repro.index.base import MutableSpatialIndex
 from repro.queries.range_query import RangeQuery
 from repro.updates.buffer import UpdateBuffer
@@ -233,11 +237,12 @@ class QuasiiIndex(MutableSpatialIndex):
     def _insert(
         self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None
     ) -> np.ndarray:
-        """Stage the batch; it reaches the hierarchy on the next query."""
-        if ids is not None and np.isin(ids, self._buffer.ids).any():
-            raise DatasetError(
-                "inserted ids collide with still-buffered inserts"
-            )
+        """Stage the batch; it reaches the hierarchy on the next query.
+
+        Collisions with still-buffered ids are rejected upstream by the
+        store's collision gate: every staged id is registered via
+        :meth:`~repro.datasets.store.BoxStore.stage_ids`.
+        """
         return self._buffer.add(lo, hi, ids)
 
     def _delete(self, ids: np.ndarray) -> int:
@@ -412,6 +417,93 @@ class QuasiiIndex(MutableSpatialIndex):
         end = self._tops[-1].slices[-1].end
         del self._tops[1:]
         self._tops.append(SliceList(0, [self._make_slice(0, begin, end, -_INF)]))
+
+    # ------------------------------------------------------------------
+    # Compaction: slice-forest defragmentation
+    # ------------------------------------------------------------------
+    def _on_compaction(self, remap: np.ndarray) -> None:
+        """Defragment the slice forest after the store dropped dead rows.
+
+        Compaction is stable, so the new position of any range boundary
+        ``b`` is the number of surviving rows in ``[0, b)``; every
+        slice's ``begin``/``end`` remaps through that prefix sum and
+        siblings stay contiguous by construction.  Slices left empty are
+        dropped (the paper's s23 rule, applied at maintenance time),
+        adjacent survivors whose remains now fit one slice are merged
+        back together, and every slice meeting its threshold is
+        finalized with an exact MBB recomputed from the surviving rows —
+        so post-compaction queries stop visiting dead space *and* stop
+        walking fragments deletes hollowed out.
+        """
+        pos = np.concatenate(([0], np.cumsum(remap >= 0)))
+        self._tops = [
+            lst
+            for lst in (self._remap_list(top, pos) for top in self._tops)
+            if lst is not None
+        ]
+        # Size of the surviving main hierarchy; 0 hands "first run may
+        # bulk-load" semantics over when the initial rows all died.
+        self._initial_rows = int(pos[self._initial_rows])
+
+    def _remap_list(self, lst: SliceList, pos: np.ndarray) -> SliceList | None:
+        """Remap one sibling list through ``pos``; None when it empties."""
+        survivors: list[Slice] = []
+        for s in lst:
+            begin = int(pos[s.begin])
+            end = int(pos[s.end])
+            if begin == end:
+                continue  # fully tombstoned: nothing left to cover
+            s.begin = begin
+            s.end = end
+            if s.children is not None:
+                s.children = self._remap_list(s.children, pos)
+            survivors.append(s)
+        if not survivors:
+            return None
+        merged = self._merge_siblings(survivors)
+        for s in merged:
+            self._retighten(s)
+        return SliceList(lst.level, merged)
+
+    def _merge_siblings(self, slices: list[Slice]) -> list[Slice]:
+        """Greedily merge adjacent *childless* siblings that fit one slice.
+
+        Deletes can hollow a refined region into long runs of near-empty
+        fragments; folding neighbours back into threshold-sized slices
+        keeps the per-query sibling walk proportional to the live data,
+        not to the history of cracks.  A merge keeps the left piece's
+        cut bound (all absorbed keys lie above it).  Only slices without
+        materialized children merge: discarding a refined subtree would
+        hand its cracking cost right back to the next queries, turning
+        the maintenance step into a latency regression.
+        """
+        tau = self._config.threshold(slices[0].level)
+        out = [slices[0]]
+        for s in slices[1:]:
+            last = out[-1]
+            if (
+                last.children is None
+                and s.children is None
+                and last.size + s.size <= tau
+            ):
+                last.end = s.end
+                last.mbb_lo = np.minimum(last.mbb_lo, s.mbb_lo)
+                last.mbb_hi = np.maximum(last.mbb_hi, s.mbb_hi)
+                last.final = False  # re-finalized by _retighten
+            else:
+                out.append(s)
+        return out
+
+    def _retighten(self, node: Slice) -> None:
+        """Exact-MBB finalize for slices that now meet their threshold.
+
+        Survivor MBBs recompute from live rows only, so boxes that
+        existed solely in tombstones stop inflating slice bounds (and
+        with them, every ancestor test a query pays).
+        """
+        if node.size <= self._config.threshold(node.level):
+            node.finalize_mbb(self._store)
+            node.final = True
 
     # ------------------------------------------------------------------
     # Algorithm 1: query processing

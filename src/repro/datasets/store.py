@@ -10,7 +10,7 @@ leaf packing) or reference rows by position (grid, R-Tree).
 
 Mutation model
 --------------
-The store supports exactly three mutations, and every index/test invariant
+The store supports exactly four mutations, and every index/test invariant
 is phrased against them:
 
 * **Permutation** (:meth:`apply_order_range`) — the cracking primitive.
@@ -21,18 +21,26 @@ is phrased against them:
   position-referencing indexes (grid, R-Tree) stay valid.
 * **Tombstone delete** (:meth:`delete_ids`) — rows are marked dead in the
   parallel ``live`` mask but stay physically present, so slice ranges and
-  row references stay valid; scans simply skip dead rows.  Physical
-  compaction is deliberately out of scope (see ROADMAP "Open items").
+  row references stay valid; scans simply skip dead rows.
+* **Compaction** (:meth:`compact`) — tombstoned rows are physically
+  dropped and live rows slide down in stable order, reclaiming the dead
+  space that scans would otherwise pay for forever.  This is the one
+  mutation that invalidates physical positions, so it returns an
+  old-position → new-position remap; every index holding row references
+  must absorb it (see
+  :meth:`~repro.index.base.SpatialIndex.on_compaction`).
 
 The resulting invariant is a *multiset of live rows*: after any
-interleaving of queries, appends, and deletes, the live ``(id, box)``
-multiset equals the initial multiset plus appended rows minus deleted
-ids — regardless of physical order.  :meth:`live_fingerprint` digests
-exactly that multiset; the :class:`~repro.updates.ledger.UpdateLedger`
-checks it against the history of applied updates.
+interleaving of queries, appends, deletes, and compactions, the live
+``(id, box)`` multiset equals the initial multiset plus appended rows
+minus deleted ids — regardless of physical order or tombstone layout.
+:meth:`live_fingerprint` digests exactly that multiset (compaction
+preserves it by construction); the
+:class:`~repro.updates.ledger.UpdateLedger` checks it against the
+history of applied updates.
 
-Every append/delete batch advances the :attr:`epoch` counter so indexes
-holding derived state can cheaply detect staleness.
+Every append/delete/compact batch advances the :attr:`epoch` counter so
+indexes holding derived state can cheaply detect staleness.
 """
 
 from __future__ import annotations
@@ -60,7 +68,17 @@ class BoxStore:
         query results are stable regardless of physical order.
     """
 
-    __slots__ = ("_lo", "_hi", "_ids", "_live", "_max_extent", "_epoch", "_n_dead", "_next_id")
+    __slots__ = (
+        "_lo",
+        "_hi",
+        "_ids",
+        "_live",
+        "_max_extent",
+        "_epoch",
+        "_n_dead",
+        "_next_id",
+        "_staged",
+    )
 
     def __init__(
         self,
@@ -103,6 +121,10 @@ class BoxStore:
         self._epoch = 0
         self._n_dead = 0
         self._next_id = int(ids.max()) + 1 if ids.size else 0
+        # Identifiers staged outside the store (update buffers): reserved
+        # or claimed but not yet appended.  Part of the explicit-id
+        # collision gate — see validate_batch / stage_ids.
+        self._staged: set[int] = set()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -133,6 +155,7 @@ class BoxStore:
         dup._epoch = self._epoch
         dup._n_dead = self._n_dead
         dup._next_id = self._next_id
+        dup._staged = set(self._staged)
         return dup
 
     # ------------------------------------------------------------------
@@ -216,7 +239,22 @@ class BoxStore:
         return self._max_extent
 
     def bounds(self) -> Box:
-        """MBB of the whole dataset."""
+        """MBB of the dataset's *live* rows.
+
+        Tombstoned rows are excluded: a deleted outlier must not keep
+        the dataset MBB — and everything rebuilt from it (partitioner
+        tiling, shard pruning boxes) — inflated forever.
+        """
+        if self.live_count == 0:
+            raise DatasetError(
+                "cannot compute bounds: the store has no live rows"
+            )
+        if self._n_dead:
+            rows = np.flatnonzero(self._live)
+            return Box(
+                tuple(self._lo[rows].min(axis=0)),
+                tuple(self._hi[rows].max(axis=0)),
+            )
         return Box(tuple(self._lo.min(axis=0)), tuple(self._hi.max(axis=0)))
 
     def mbr_of_range(self, begin: int, end: int) -> Box:
@@ -325,6 +363,30 @@ class BoxStore:
         if ids.size:
             self._next_id = max(self._next_id, int(ids.max()) + 1)
 
+    def stage_ids(self, ids: np.ndarray) -> None:
+        """Register ids as staged outside the store (claims them too).
+
+        Update buffers call this for every row they hold, fresh or
+        explicit, so the collision gate (:meth:`validate_batch`) can
+        reject a second insert of an id that is pending but not yet
+        physically in the store — without it, the duplicate would only
+        surface at merge (drain) time, after the first batch's caller
+        already got its ids back.
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        self.claim_ids(ids)
+        self._staged.update(int(i) for i in ids)
+
+    def unstage_ids(self, ids: np.ndarray) -> None:
+        """Drop ids from the staged registry (drained or discarded)."""
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        self._staged.difference_update(int(i) for i in ids)
+
+    @property
+    def staged_count(self) -> int:
+        """Number of ids currently staged outside the store."""
+        return len(self._staged)
+
     def validate_batch(
         self,
         lo: np.ndarray,
@@ -371,6 +433,15 @@ class BoxStore:
                 np.unique(ids).size != ids.size or np.isin(ids, self._ids).any()
             ):
                 raise DatasetError("batch ids collide with existing ids")
+            if (
+                ids.size
+                and self._staged
+                and not self._staged.isdisjoint(int(i) for i in ids)
+            ):
+                raise DatasetError(
+                    "batch ids collide with buffered (staged) inserts "
+                    "not yet merged into the store"
+                )
         return lo, hi, ids
 
     def append(
@@ -473,45 +544,83 @@ class BoxStore:
         """Physical positions of all live rows (int64, ascending)."""
         return np.flatnonzero(self._live)
 
+    def compact(self) -> np.ndarray:
+        """Physically drop tombstoned rows; returns the position remap.
+
+        Live rows slide down in stable order (relative order preserved),
+        so contiguous live ranges stay contiguous and sorted runs stay
+        sorted.  The returned int64 vector has one entry per *old*
+        position: the row's new position, or ``-1`` for a dropped
+        (tombstoned) row.  Because compaction is stable, the new
+        position of any range boundary ``b`` is the count of live rows
+        in ``[0, b)`` — index consumers remap ``begin``/``end`` pairs
+        with a prefix sum over ``remap >= 0``.
+
+        The live ``(id, box)`` multiset — :meth:`live_fingerprint` — is
+        invariant.  Advances :attr:`epoch` when rows were dropped; with
+        no dead rows the call is a no-op returning the identity remap.
+        """
+        n = self.n
+        if self._n_dead == 0:
+            return np.arange(n, dtype=np.int64)
+        keep = np.flatnonzero(self._live)
+        remap = np.full(n, -1, dtype=np.int64)
+        remap[keep] = np.arange(keep.size, dtype=np.int64)
+        self._lo = np.ascontiguousarray(self._lo[keep])
+        self._hi = np.ascontiguousarray(self._hi[keep])
+        self._ids = np.ascontiguousarray(self._ids[keep])
+        self._live = np.ones(keep.size, dtype=bool)
+        self._n_dead = 0
+        # max_extent stays: it is documented to grow monotonically, and
+        # a too-large query extension is conservative, never incorrect.
+        self._epoch += 1
+        return remap
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _digest(self, rows: np.ndarray, with_live: bool) -> bytes:
+        """Canonical digest of the given rows, id column in native int64.
+
+        Rows are ordered by ``(id, coordinates)`` — not by id alone — so
+        duplicate-id rows cannot produce order-dependent digests, and
+        the id column is hashed in its own dtype: casting int64 ids to
+        float64 silently collides ids above 2**53.
+        """
+        coords = np.hstack([self._lo[rows], self._hi[rows]])
+        ids = self._ids[rows]
+        # lexsort's *last* key is primary: ids, then (physical digest
+        # only) the live flag, then coordinates — a total order even
+        # when ids repeat.
+        keys = tuple(coords.T[::-1])
+        parts = [ids, coords]
+        if with_live:
+            live = self._live[rows]
+            keys += (live,)
+            parts.insert(1, live)
+        order = np.lexsort(keys + (ids,))
+        return b"".join(col[order].tobytes() for col in parts)
+
     def fingerprint(self) -> bytes:
         """Order-insensitive digest of the *physical* (id, box, live) multiset.
 
         Two stores that are permutations of each other have equal
         fingerprints; used by tests to assert permutation safety.
         Tombstoned rows are included (with their live flag), so the
-        fingerprint is invariant under queries but not under updates.
+        fingerprint is invariant under queries but not under updates or
+        compaction.
         """
-        order = np.argsort(self._ids, kind="stable")
-        stacked = np.hstack(
-            [
-                self._ids[order, None].astype(np.float64),
-                self._live[order, None].astype(np.float64),
-                self._lo[order],
-                self._hi[order],
-            ]
-        )
-        return stacked.tobytes()
+        return self._digest(np.arange(self.n, dtype=np.int64), with_live=True)
 
     def live_fingerprint(self) -> bytes:
         """Order-insensitive digest of the *live* (id, box) multiset.
 
         This is the store's documented invariant surface under mixed
         read/write workloads: equal across stores holding the same live
-        rows, regardless of physical order, tombstones, or epoch.
+        rows, regardless of physical order, tombstones, compactions, or
+        epoch.
         """
-        rows = np.flatnonzero(self._live)
-        stacked = np.hstack(
-            [
-                self._ids[rows, None].astype(np.float64),
-                self._lo[rows],
-                self._hi[rows],
-            ]
-        )
-        order = np.lexsort(stacked.T[::-1])
-        return stacked[order].tobytes()
+        return self._digest(np.flatnonzero(self._live), with_live=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"BoxStore(n={self.n}, ndim={self.ndim})"

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.datasets.store import BoxStore
-from repro.errors import QueryError
+from repro.errors import ConfigurationError, QueryError
 from repro.queries.range_query import RangeQuery
 
 
@@ -57,6 +57,10 @@ class IndexStats:
     merges:
         Pending-update batches absorbed into the main index structure
         (QUASII buffer flushes, grid overflow compactions, ...).
+    compactions:
+        Store compactions absorbed through
+        :meth:`MutableSpatialIndex.compact` (tombstoned rows physically
+        reclaimed and positions remapped).
     shards_visited:
         Shards whose MBB intersected a query window and were fanned out
         to (:class:`repro.sharding.ShardedIndex`; 0 for unsharded
@@ -76,6 +80,7 @@ class IndexStats:
     inserts: int = 0
     deletes: int = 0
     merges: int = 0
+    compactions: int = 0
     shards_visited: int = 0
     shards_pruned: int = 0
 
@@ -90,6 +95,7 @@ class IndexStats:
         self.inserts = 0
         self.deletes = 0
         self.merges = 0
+        self.compactions = 0
         self.shards_visited = 0
         self.shards_pruned = 0
 
@@ -105,6 +111,7 @@ class IndexStats:
             inserts=self.inserts,
             deletes=self.deletes,
             merges=self.merges,
+            compactions=self.compactions,
             shards_visited=self.shards_visited,
             shards_pruned=self.shards_pruned,
         )
@@ -188,6 +195,30 @@ class SpatialIndex(abc.ABC):
     def _query(self, query: RangeQuery) -> np.ndarray:
         """Index-specific query implementation."""
 
+    def on_compaction(self, remap: np.ndarray) -> None:
+        """Absorb a store compaction: remap or rebuild derived state.
+
+        ``remap`` is the old-position → new-position vector returned by
+        :meth:`BoxStore.compact` (``-1`` marks dropped rows).  After the
+        index-specific remap, the index re-syncs to the store's epoch,
+        so this is also the sanctioned way to revalidate an index whose
+        store was compacted out-of-band (e.g. a static SFC index over a
+        store compacted by its owner).  Indexes that cannot absorb a
+        compaction raise; rebuild them over the compacted store instead.
+        """
+        if remap.ndim != 1:
+            raise ConfigurationError("compaction remap must be a flat vector")
+        self._on_compaction(remap)
+        self._seen_epoch = self._store.epoch
+
+    def _on_compaction(self, remap: np.ndarray) -> None:
+        """Index-specific compaction absorption; default: unsupported."""
+        raise ConfigurationError(
+            f"{self.name} holds physical row references and cannot absorb "
+            f"a store compaction; construct a fresh index over the "
+            f"compacted store"
+        )
+
     def memory_bytes(self) -> int:
         """Approximate size of auxiliary index structures (not the data)."""
         return 0
@@ -213,11 +244,17 @@ class MutableSpatialIndex(SpatialIndex):
       resolves candidates through the store's live mask stays correct
       without reorganizing.
 
-    Both verbs maintain the ``inserts`` / ``deletes`` counters; lazy
-    implementations additionally bump ``merges`` when a pending batch is
-    absorbed.  After any interleaving of queries and updates the index
-    must return exactly the live-row set a full scan returns — the
-    property suite enforces this against the Scan oracle.
+    plus the maintenance verb that pays the tombstones off:
+
+    * :meth:`compact` — physically reclaim dead rows and absorb the
+      position remap into the index structure, so scans stop paying for
+      rows deletes left behind.
+
+    The verbs maintain the ``inserts`` / ``deletes`` / ``compactions``
+    counters; lazy implementations additionally bump ``merges`` when a
+    pending batch is absorbed.  After any interleaving of queries and
+    updates the index must return exactly the live-row set a full scan
+    returns — the property suite enforces this against the Scan oracle.
     """
 
     def insert(
@@ -257,6 +294,26 @@ class MutableSpatialIndex(SpatialIndex):
         self._seen_epoch = self._store.epoch
         self.stats.deletes += removed
         return removed
+
+    def compact(self) -> int:
+        """Physically reclaim tombstoned rows; returns the count dropped.
+
+        The maintenance verb of the four-mutation model: the store drops
+        its dead rows (:meth:`BoxStore.compact`) and the index absorbs
+        the resulting position remap through :meth:`on_compaction` —
+        slice forests defragment, CSR/leaf row vectors remap, pruning
+        boxes re-tighten.  Query results are unchanged (the live
+        multiset is invariant); what changes is the cost of computing
+        them, since scans stop paying for dead rows.  A store with no
+        dead rows is a no-op returning 0.
+        """
+        self._check_epoch()
+        reclaimed = self._store.n_dead
+        if reclaimed == 0:
+            return 0
+        self.on_compaction(self._store.compact())
+        self.stats.compactions += 1
+        return reclaimed
 
     def pending_updates(self) -> int:
         """Number of staged rows not yet merged into the main structure."""

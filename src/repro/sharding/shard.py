@@ -7,7 +7,9 @@ built over it.  The shard tracks its minimum bounding box for query
 pruning; the MBB is exact at build time, *expands* when routed inserts
 arrive (covering rows an index may still hold in its update buffer), and
 deliberately never shrinks on delete (a loose MBB is conservative: it
-can only cost a wasted visit, never a missed result).
+can only cost a wasted visit, never a missed result).  Compaction is the
+moment the looseness is paid off: :meth:`Shard.refresh_mbb` re-tightens
+the pruning box to the surviving live rows once the dead ones are gone.
 """
 
 from __future__ import annotations
@@ -29,19 +31,37 @@ class Shard:
         self.sid = sid
         self.store = store
         self.index = index
-        if store.n:
-            bounds = store.bounds()
-            self.mbb_lo = np.asarray(bounds.lo, dtype=np.float64).copy()
-            self.mbb_hi = np.asarray(bounds.hi, dtype=np.float64).copy()
-        else:
-            # Inverted box: intersects nothing, merges as the identity.
-            self.mbb_lo = np.full(store.ndim, _INF)
-            self.mbb_hi = np.full(store.ndim, -_INF)
+        self.refresh_mbb()
 
     @property
     def live_count(self) -> int:
         """Live rows currently owned by this shard."""
         return self.store.live_count
+
+    @property
+    def dead_fraction(self) -> float:
+        """Tombstoned fraction of the shard's physical rows (0 when empty).
+
+        The compaction policy's trigger: the engine compacts a shard
+        once this crosses its ``dead_fraction`` threshold.
+        """
+        return self.store.n_dead / self.store.n if self.store.n else 0.0
+
+    def refresh_mbb(self) -> None:
+        """Reset the pruning MBB to exactly cover the live rows.
+
+        Called at construction and after compaction; an empty (or fully
+        dead) shard gets the inverted box, which intersects nothing and
+        merges as the identity.
+        """
+        store = self.store
+        if store.live_count:
+            bounds = store.bounds()
+            self.mbb_lo = np.asarray(bounds.lo, dtype=np.float64).copy()
+            self.mbb_hi = np.asarray(bounds.hi, dtype=np.float64).copy()
+        else:
+            self.mbb_lo = np.full(store.ndim, _INF)
+            self.mbb_hi = np.full(store.ndim, -_INF)
 
     def expand(self, lo: np.ndarray, hi: np.ndarray) -> None:
         """Grow the MBB to cover an insert batch routed to this shard."""

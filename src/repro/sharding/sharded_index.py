@@ -19,6 +19,12 @@ the full :class:`MutableSpatialIndex` contract over the fleet:
   the shard index's update buffer, and pruning must never skip them).
 * **Deletes** are routed by the id→shard ownership map the engine
   maintains, so only owning shards do any work.
+* **Compaction** reclaims the dead space deletes leave behind:
+  :meth:`ShardedIndex.maybe_compact` compacts every shard whose
+  tombstoned fraction crosses a policy threshold (re-tightening its
+  pruning MBB), while the inherited
+  :meth:`~repro.index.base.MutableSpatialIndex.compact` compacts the
+  mirror and the whole fleet unconditionally.
 
 The store handed to the constructor remains the engine's *ingest
 mirror*: shards own private copies of their rows (incremental shard
@@ -114,8 +120,9 @@ class ShardedIndex(MutableSpatialIndex):
         self.name = f"Sharded[{self._partitioner.name}x{self._n_shards}]"
 
     #: Shard-level work counters mirrored into the engine's stats; the
-    #: flow counters (queries, inserts, results...) are engine-maintained
-    #: and must NOT be rolled up, or they would double count.
+    #: flow counters (queries, inserts, results, compactions...) are
+    #: engine-maintained and must NOT be rolled up, or they would double
+    #: count — one engine compact() is one compaction event, not K+1.
     _WORK_COUNTERS = (
         "objects_tested",
         "nodes_visited",
@@ -333,6 +340,103 @@ class ShardedIndex(MutableSpatialIndex):
             self._shards[sid].index.delete(np.asarray(victims, dtype=np.int64))
         self.sync_shard_work()
         return removed
+
+    # ------------------------------------------------------------------
+    # Compaction: reclaim dead space shard by shard
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Reclaim tombstones across the ingest mirror and the whole fleet.
+
+        Overrides the inherited verb, whose no-op gate inspects only the
+        engine's own store: a prior partial :meth:`maybe_compact` can
+        compact the mirror while leaving a below-threshold shard
+        tombstoned, and that shard must still be swept here.  Returns
+        the *logical* rows reclaimed — tombstones dropped from the
+        mirror — matching :meth:`maybe_compact`'s accounting: shard-side
+        copies of the same rows are not double-counted, and a row whose
+        mirror tombstone an earlier policy pass already dropped adds
+        nothing again, so totals across calls count each deleted row
+        exactly once.
+        """
+        self._check_epoch()
+        reclaimed = self._store.n_dead
+        if reclaimed == 0 and all(s.store.n_dead == 0 for s in self._shards):
+            return 0
+        self.on_compaction(self._store.compact())
+        self.stats.compactions += 1
+        return reclaimed
+
+    def _on_compaction(self, remap: np.ndarray) -> None:
+        """Absorb a full compaction: the mirror is done, now the fleet.
+
+        The engine itself holds no physical positions into the ingest
+        mirror (ownership is id-keyed), so the mirror's remap needs no
+        translation here; each shard compacts its *private* store
+        through its own index hook, and the stacked pruning MBBs are
+        rebuilt from the re-tightened shards.
+        """
+        for shard in self._shards:
+            self._compact_shard(shard)
+        self._stack_lo = self._stack_hi = None
+        self.sync_shard_work()
+
+    def _compact_shard(self, shard: Shard) -> int:
+        """Compact one shard's private store and re-tighten its MBB."""
+        index = shard.index
+        if isinstance(index, MutableSpatialIndex):
+            reclaimed = index.compact()
+            pending = index.pending_updates()
+        else:
+            # Immutable shard indexes cannot have routed deletes, but a
+            # factory-supplied store may carry tombstones from day one.
+            reclaimed = shard.store.n_dead
+            if reclaimed:
+                index.on_compaction(shard.store.compact())
+            pending = 0
+        if reclaimed and pending == 0:
+            # Buffered (not yet drained) inserts are covered by the MBB
+            # but invisible to the store; only re-tighten once nothing
+            # is pending, or pruning could skip a staged match.
+            shard.refresh_mbb()
+        return reclaimed
+
+    def maybe_compact(self, dead_fraction: float = 0.3) -> int:
+        """Policy-driven compaction; returns the logical rows reclaimed.
+
+        The serving-loop maintenance verb: every shard whose tombstoned
+        fraction exceeds ``dead_fraction`` is compacted (shrinking its
+        pruning MBB and restoring its load counters to live-row
+        reality), and the ingest mirror compacts under the same policy.
+        Shards below the threshold are untouched, so steady-state calls
+        are cheap — sprinkle this between batches instead of scheduling
+        stop-the-world rebuilds.
+
+        The return value counts tombstones dropped from the *mirror*
+        (each deleted row once, shard-side copies excluded), the same
+        accounting as :meth:`compact`; a pass that only compacted shards
+        therefore returns 0, and those rows are counted by whichever
+        later call drops their mirror tombstones.
+        """
+        if not 0.0 <= dead_fraction < 1.0:
+            raise ConfigurationError(
+                f"dead_fraction must be in [0, 1), got {dead_fraction}"
+            )
+        self._check_epoch()
+        compacted = 0
+        for shard in self._shards:
+            if shard.store.n and shard.dead_fraction > dead_fraction:
+                compacted += self._compact_shard(shard)
+        reclaimed = 0
+        mirror = self._store
+        if mirror.n and mirror.n_dead / mirror.n > dead_fraction:
+            reclaimed = mirror.n_dead
+            mirror.compact()
+            self._seen_epoch = mirror.epoch
+        if compacted or reclaimed:
+            self._stack_lo = self._stack_hi = None
+            self.stats.compactions += 1
+            self.sync_shard_work()
+        return reclaimed
 
     def pending_updates(self) -> int:
         """Rows staged in shard-level update buffers, fleet-wide."""

@@ -59,8 +59,11 @@ class UpdateBuffer:
 
         Fresh identifiers are reserved from the store unless ``ids`` is
         given, so the caller can hand them out before the merge happens.
-        Explicit ids are *claimed* from the store's allocator so a later
-        reservation can never collide with a still-buffered row.
+        Every staged id — fresh or explicit — is registered with the
+        store (:meth:`~repro.datasets.store.BoxStore.stage_ids`): the
+        allocator can never hand out a duplicate, and the store's
+        collision gate rejects a second explicit insert of a pending id
+        instead of letting the merge trip over it later.
         """
         k = lo.shape[0]
         if ids is None:
@@ -71,7 +74,7 @@ class UpdateBuffer:
                 raise DatasetError(
                     f"ids shape {ids.shape} does not match {k} staged rows"
                 )
-            self._store.claim_ids(ids)
+        self._store.stage_ids(ids)
         if k:
             self._lo = np.concatenate([self._lo, lo])
             self._hi = np.concatenate([self._hi, hi])
@@ -93,11 +96,13 @@ class UpdateBuffer:
             self._lo = self._lo[keep]
             self._hi = self._hi[keep]
             self._ids = self._ids[keep]
+            self._store.unstage_ids(removed)
         return removed
 
     def drain(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return and clear all staged rows as ``(lo, hi, ids)``."""
         out = (self._lo, self._hi, self._ids)
+        self._store.unstage_ids(self._ids)
         d = self._store.ndim
         self._lo = np.empty((0, d), dtype=np.float64)
         self._hi = np.empty((0, d), dtype=np.float64)

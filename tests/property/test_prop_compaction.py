@@ -1,0 +1,208 @@
+"""Property tests for physical compaction under arbitrary interleavings.
+
+Hypothesis drives an initial dataset plus an arbitrary interleaving of
+window queries, insert batches, delete batches, and **compactions**.
+Invariants that must survive every interleaving:
+
+* **Fingerprint preservation** — ``live_fingerprint()`` is identical
+  immediately before and after every compaction (the live ``(id, box)``
+  multiset is compaction-invariant), and every store holds exactly the
+  ledger's live multiset at the end.
+* **Oracle agreement** — every query returns exactly the live-row set
+  the Scan oracle returns, no matter how many compactions happened in
+  between; a final full-window query returns the complete live id set.
+* **Physical reclamation** — after a compaction the store carries no
+  tombstones (``n == live_count``), and QUASII's defragmented slice
+  forest passes ``validate_structure()``.
+
+The same interleavings run against the sharded engine for K ∈ {1, 2, 7},
+where compaction additionally re-tightens shard pruning MBBs and must
+keep the id→shard routing map consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import RTreeIndex, ScanIndex, UniformGridIndex
+from repro.core import QuasiiConfig, QuasiiIndex
+from repro.datasets import BoxStore
+from repro.geometry import Box
+from repro.queries import RangeQuery
+from repro.sharding import ShardedIndex
+from repro.updates import UpdateLedger
+
+UNIVERSE_SIDE = 100.0
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+@st.composite
+def dataset_and_ops(draw, ndim=2):
+    n = draw(st.integers(2, 60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    lo = rng.uniform(0, UNIVERSE_SIDE, size=(n, ndim))
+    hi = np.minimum(lo + rng.uniform(0, 10, size=(n, ndim)), UNIVERSE_SIDE)
+
+    n_ops = draw(st.integers(1, 12))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(
+            st.sampled_from(["query", "query", "insert", "delete", "compact"])
+        )
+        if kind == "query":
+            qlo = rng.uniform(-10, UNIVERSE_SIDE, size=ndim)
+            qhi = qlo + rng.uniform(0, 60, size=ndim)
+            ops.append(("query", Box(tuple(qlo), tuple(qhi))))
+        elif kind == "insert":
+            k = draw(st.integers(1, 5))
+            blo = rng.uniform(0, UNIVERSE_SIDE, size=(k, ndim))
+            bhi = np.minimum(blo + rng.uniform(0, 8, size=(k, ndim)), UNIVERSE_SIDE)
+            ops.append(("insert", (blo, bhi)))
+        elif kind == "delete":
+            ops.append(
+                ("delete", (draw(st.integers(1, 6)), draw(st.integers(0, 2**31 - 1))))
+            )
+        else:
+            ops.append(("compact", None))
+    return (lo, hi), ops
+
+
+def _full_window(ndim: int) -> RangeQuery:
+    return RangeQuery(
+        Box((-1.0,) * ndim, (UNIVERSE_SIDE + 1.0,) * ndim), seq=10_000
+    )
+
+
+@given(dataset_and_ops())
+@settings(max_examples=40, deadline=None)
+def test_compaction_preserves_fingerprint_and_scan_agreement(case):
+    (lo, hi), ops = case
+    universe = Box((0.0, 0.0), (UNIVERSE_SIDE, UNIVERSE_SIDE))
+    scan = ScanIndex(BoxStore(lo.copy(), hi.copy()))
+    quasii = QuasiiIndex(BoxStore(lo.copy(), hi.copy()), QuasiiConfig(2, (8, 4)))
+    grid = UniformGridIndex(
+        BoxStore(lo.copy(), hi.copy()), universe, 5, merge_threshold=6
+    )
+    grid.build()
+    rtree = RTreeIndex(BoxStore(lo.copy(), hi.copy()), capacity=8)
+    rtree.build()
+    indexes = [scan, quasii, grid, rtree]
+    ledger = UpdateLedger(scan.store)
+
+    seq = 0
+    for kind, payload in ops:
+        if kind == "query":
+            query = RangeQuery(payload, seq=seq)
+            seq += 1
+            expect = np.sort(scan.query(query))
+            for idx in indexes[1:]:
+                got = np.sort(idx.query(query))
+                assert np.array_equal(got, expect), (
+                    f"{idx.name} diverged from Scan on query {query.seq}"
+                )
+        elif kind == "insert":
+            blo, bhi = payload
+            assigned = [idx.insert(blo, bhi) for idx in indexes]
+            for ids in assigned[1:]:
+                assert np.array_equal(ids, assigned[0]), "id streams diverged"
+            ledger.record_insert(blo, bhi, assigned[0])
+        elif kind == "delete":
+            count, victim_seed = payload
+            live = ledger.live_ids()
+            count = min(count, live.size)
+            if count == 0:
+                continue
+            victims = np.random.default_rng(victim_seed).choice(
+                live, size=count, replace=False
+            )
+            for idx in indexes:
+                assert idx.delete(victims) == count
+            ledger.record_delete(victims)
+        else:  # compact
+            for idx in indexes:
+                fp = idx.store.live_fingerprint()
+                reclaimed = idx.compact()
+                assert reclaimed >= 0
+                assert idx.store.live_fingerprint() == fp, (
+                    f"{idx.name} compaction changed the live multiset"
+                )
+                assert idx.store.n == idx.store.live_count, (
+                    f"{idx.name} left tombstones after compaction"
+                )
+            quasii.validate_structure()
+
+    full = _full_window(2)
+    expect = np.sort(scan.query(full))
+    assert np.array_equal(expect, ledger.live_ids())
+    for idx in indexes[1:]:
+        assert np.array_equal(np.sort(idx.query(full)), expect)
+    for idx in indexes:
+        ledger.assert_matches(idx.store)
+    quasii.validate_structure()
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@given(case=dataset_and_ops())
+@settings(max_examples=15, deadline=None)
+def test_sharded_compaction_under_interleavings(n_shards, case):
+    (lo, hi), ops = case
+    scan = ScanIndex(BoxStore(lo.copy(), hi.copy()))
+    engine = ShardedIndex(
+        BoxStore(lo.copy(), hi.copy()),
+        n_shards=n_shards,
+        partitioner="str",
+        index_factory=lambda s: QuasiiIndex(
+            s, QuasiiConfig(2, (8, 4)), max_runs=2
+        ),
+    )
+    engine.build()
+    ledger = UpdateLedger(scan.store)
+
+    seq = 0
+    for kind, payload in ops:
+        if kind == "query":
+            query = RangeQuery(payload, seq=seq)
+            seq += 1
+            expect = np.sort(scan.query(query))
+            assert np.array_equal(np.sort(engine.query(query)), expect)
+        elif kind == "insert":
+            blo, bhi = payload
+            expect_ids = scan.insert(blo, bhi)
+            got_ids = engine.insert(blo, bhi)
+            assert np.array_equal(got_ids, expect_ids)
+            ledger.record_insert(blo, bhi, expect_ids)
+        elif kind == "delete":
+            count, victim_seed = payload
+            live = ledger.live_ids()
+            count = min(count, live.size)
+            if count == 0:
+                continue
+            victims = np.random.default_rng(victim_seed).choice(
+                live, size=count, replace=False
+            )
+            assert scan.delete(victims) == count
+            assert engine.delete(victims) == count
+            ledger.record_delete(victims)
+        else:  # compact: alternate the policy verb with the full verb
+            scan.compact()
+            fp = engine.store.live_fingerprint()
+            if seq % 2:
+                engine.maybe_compact(0.0)
+            else:
+                engine.compact()
+            assert engine.store.live_fingerprint() == fp
+            assert engine.store.n == engine.store.live_count
+            engine.validate_routing()
+
+    full = _full_window(2)
+    expect = np.sort(scan.query(full))
+    assert np.array_equal(expect, ledger.live_ids())
+    assert np.array_equal(np.sort(engine.query(full)), expect)
+    ledger.assert_matches(engine.store)
+    engine.validate_routing()
+    for shard in engine.shards:
+        shard.index.validate_structure()

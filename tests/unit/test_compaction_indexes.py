@@ -1,0 +1,358 @@
+"""Unit tests for the per-index compaction paths (``on_compaction``).
+
+Each structure absorbs the store's position remap its own way — QUASII
+defragments its slice forest, the grid remaps CSR/overflow entries, the
+R-Tree rewrites leaf row vectors, Scan does nothing, the static SFC
+index remaps its sorted arrays, and the sharded engine compacts shard by
+shard behind a dead-fraction policy — but all of them must answer with
+exactly the same live-row set before and after, more cheaply after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MosaicIndex,
+    RTreeIndex,
+    ScanIndex,
+    SFCIndex,
+    SFCrackerIndex,
+    UniformGridIndex,
+)
+from repro.core import QuasiiConfig, QuasiiIndex
+from repro.datasets import BoxStore
+from repro.errors import ConfigurationError
+from repro.geometry import Box
+from repro.queries import RangeQuery
+from repro.sharding import ShardedIndex
+
+UNIVERSE = Box((0.0, 0.0), (100.0, 100.0))
+FULL = RangeQuery(Box((-1.0, -1.0), (101.0, 101.0)), seq=999)
+
+
+def _store(n: int = 60, seed: int = 0) -> BoxStore:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 90, size=(n, 2))
+    return BoxStore(lo, lo + rng.uniform(0, 5, size=(n, 2)))
+
+
+def _expected_live(index) -> np.ndarray:
+    store = index.store
+    return np.sort(store.ids[store.live_rows()])
+
+
+def _windows(seed: int = 2, k: int = 8) -> list[RangeQuery]:
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(k):
+        qlo = rng.uniform(0, 70, size=2)
+        out.append(RangeQuery(Box(tuple(qlo), tuple(qlo + 25.0)), seq=i))
+    return out
+
+
+MAKERS = (
+    lambda s: ScanIndex(s),
+    lambda s: QuasiiIndex(s, QuasiiConfig(2, (8, 4))),
+    lambda s: UniformGridIndex(s, UNIVERSE, 5, merge_threshold=6),
+    lambda s: UniformGridIndex(s, UNIVERSE, 5, assignment="replication"),
+    lambda s: RTreeIndex(s, capacity=8),
+)
+
+
+class TestCompactVerb:
+    def test_every_mutable_index_compacts_and_stays_correct(self):
+        for make in MAKERS:
+            idx = make(_store())
+            idx.build()
+            for q in _windows():
+                idx.query(q)
+            idx.delete(np.arange(0, 40, 2))
+            before = np.sort(idx.query(FULL))
+            reclaimed = idx.compact()
+            assert reclaimed == 20, idx.name
+            assert idx.store.n == idx.store.live_count, idx.name
+            assert idx.stats.compactions >= 1, idx.name
+            after = np.sort(idx.query(FULL))
+            assert np.array_equal(before, after), idx.name
+            assert np.array_equal(after, _expected_live(idx)), idx.name
+            oracle = ScanIndex(idx.store)  # compacted store, fresh oracle
+            for q in _windows(seed=7):
+                assert np.array_equal(
+                    np.sort(idx.query(q)), np.sort(oracle.query(q))
+                ), idx.name
+
+    def test_compact_with_no_dead_rows_is_a_noop(self):
+        for make in MAKERS:
+            idx = make(_store())
+            idx.build()
+            epoch = idx.store.epoch
+            assert idx.compact() == 0, idx.name
+            assert idx.store.epoch == epoch, idx.name
+            assert idx.stats.compactions == 0, idx.name
+
+    def test_updates_keep_flowing_after_compaction(self):
+        for make in MAKERS:
+            idx = make(_store())
+            idx.build()
+            idx.delete(np.arange(10))
+            idx.compact()
+            rng = np.random.default_rng(4)
+            lo = rng.uniform(0, 90, size=(6, 2))
+            new_ids = idx.insert(lo, lo + 2.0)
+            got = np.sort(idx.query(FULL))
+            assert np.isin(new_ids, got).all(), idx.name
+            assert np.array_equal(got, _expected_live(idx)), idx.name
+
+    def test_compact_everything_leaves_a_servable_empty_index(self):
+        for make in MAKERS:
+            idx = make(_store(20))
+            idx.build()
+            idx.delete(np.arange(20))
+            assert idx.compact() == 20, idx.name
+            assert idx.store.n == 0, idx.name
+            assert idx.query(FULL).size == 0, idx.name
+
+
+class TestQuasiiDefragmentation:
+    def _refined(self, n: int = 120) -> QuasiiIndex:
+        idx = QuasiiIndex(_store(n, seed=3), QuasiiConfig(2, (8, 4)))
+        for q in _windows(seed=5, k=12):
+            idx.query(q)
+        return idx
+
+    def test_structure_valid_and_scans_shrink(self):
+        idx = self._refined()
+        idx.delete(np.arange(0, 120, 2))
+        idx.query(FULL)
+        tombstoned = idx.stats.objects_tested
+        idx.stats.reset()
+        idx.compact()
+        idx.validate_structure()
+        idx.query(FULL)
+        compacted = idx.stats.objects_tested
+        assert compacted < tombstoned
+        assert idx.store.n == idx.store.live_count == 60
+
+    def test_emptied_slices_drop_and_fragments_merge(self):
+        idx = self._refined()
+        slices_before = sum(idx.slice_counts())
+        # Kill nearly everything: surviving fragments must merge/drop.
+        live = idx.store.ids[idx.store.live_rows()]
+        idx.delete(live[:-6])
+        idx.compact()
+        idx.validate_structure()
+        assert sum(idx.slice_counts()) < slices_before
+        assert np.array_equal(np.sort(idx.query(FULL)), np.sort(live[-6:]))
+
+    def test_final_slice_mbbs_retighten(self):
+        idx = self._refined()
+        live = idx.store.ids[idx.store.live_rows()]
+        idx.delete(live[: live.size // 2])
+        idx.compact()
+        store = idx.store
+        for top in idx._tops:
+            stack = [top]
+            while stack:
+                lst = stack.pop()
+                for s in lst:
+                    if s.final:
+                        sub_lo = store.lo[s.begin : s.end]
+                        sub_hi = store.hi[s.begin : s.end]
+                        assert np.allclose(s.mbb_lo, sub_lo.min(axis=0))
+                        assert np.allclose(s.mbb_hi, sub_hi.max(axis=0))
+                    if s.children is not None:
+                        stack.append(s.children)
+
+    def test_compact_with_pending_buffer_keeps_staged_rows(self):
+        idx = self._refined()
+        rng = np.random.default_rng(11)
+        lo = rng.uniform(0, 90, size=(4, 2))
+        staged = idx.insert(lo, lo + 2.0)
+        idx.delete(np.arange(0, 30))
+        assert idx.compact() == 30
+        assert idx.pending_updates() == 4
+        got = np.sort(idx.query(FULL))
+        assert np.isin(staged, got).all()
+        idx.validate_structure()
+
+    def test_structure_survives_compact_query_cycles(self):
+        idx = QuasiiIndex(_store(100, seed=9), QuasiiConfig(2, (8, 4)))
+        rng = np.random.default_rng(13)
+        for round_ in range(5):
+            for q in _windows(seed=20 + round_, k=4):
+                idx.query(q)
+            live = idx.store.ids[idx.store.live_rows()]
+            if live.size > 10:
+                idx.delete(rng.choice(live, size=8, replace=False))
+            idx.compact()
+            idx.validate_structure()
+            lo = rng.uniform(0, 90, size=(3, 2))
+            idx.insert(lo, lo + 2.0)
+        assert np.array_equal(np.sort(idx.query(FULL)), _expected_live(idx))
+        idx.validate_structure()
+
+
+class TestGridCompaction:
+    def test_csr_and_overflow_entries_remap(self):
+        grid = UniformGridIndex(_store(), UNIVERSE, 5, merge_threshold=1000)
+        grid.build()
+        rng = np.random.default_rng(6)
+        lo = rng.uniform(0, 90, size=(5, 2))
+        inserted = grid.insert(lo, lo + 2.0)  # lands in overflow
+        assert grid.pending_updates() == 5
+        grid.delete(np.concatenate([np.arange(20), inserted[:2]]))
+        grid.compact()
+        assert grid.pending_updates() == 3  # dead overflow entries shed
+        assert grid._sorted_rows.size == 40  # dead CSR entries shed
+        got = np.sort(grid.query(FULL))
+        assert np.array_equal(got, _expected_live(grid))
+
+    def test_replication_factor_stays_exact_after_compaction(self):
+        grid = UniformGridIndex(_store(), UNIVERSE, 5, assignment="replication")
+        grid.build()
+        grid.insert(np.array([[5.0, 5.0]]), np.array([[80.0, 80.0]]))
+        grid.delete(np.arange(30))
+        factor_tombstoned = grid.replication_factor()
+        grid.compact()
+        assert grid.replication_factor() == pytest.approx(factor_tombstoned)
+        assert np.array_equal(np.sort(grid.query(FULL)), _expected_live(grid))
+
+
+class TestRTreeCompaction:
+    def test_leaf_rows_remap_and_queries_agree(self):
+        rtree = RTreeIndex(_store(100, seed=2), capacity=8)
+        rtree.build()
+        rtree.delete(np.arange(0, 100, 3))
+        nodes_before = rtree.root.count_nodes()
+        rtree.compact()
+        assert rtree.root.count_nodes() <= nodes_before
+        assert np.array_equal(np.sort(rtree.query(FULL)), _expected_live(rtree))
+
+    def test_straggler_dead_rows_are_dropped(self):
+        # A tree built over a store that was tombstoned out-of-band (the
+        # tree never saw the deletes): compaction absorbs them via remap.
+        store = _store(40, seed=8)
+        store.delete_ids(np.arange(5))
+        rtree = RTreeIndex(store, capacity=8)
+        rtree.build()  # leaves reference dead rows, filtered by live mask
+        remap = store.compact()
+        rtree.on_compaction(remap)
+        got = np.sort(rtree.query(FULL))
+        assert np.array_equal(got, np.arange(5, 40))
+
+
+class TestStaticIndexCompaction:
+    def test_sfc_absorbs_out_of_band_compaction(self):
+        store = _store(80, seed=4)
+        sfc = SFCIndex(store, UNIVERSE)
+        sfc.build()
+        store.delete_ids(np.arange(0, 80, 2))
+        sfc.on_compaction(store.compact())
+        got = np.sort(sfc.query(FULL))
+        assert np.array_equal(got, np.arange(1, 80, 2))
+
+    def test_unsupporting_indexes_fail_loudly(self):
+        for make in (
+            lambda s: SFCrackerIndex(s, UNIVERSE),
+            lambda s: MosaicIndex(s, UNIVERSE),
+        ):
+            store = _store(30, seed=5)
+            idx = make(store)
+            idx.build()
+            idx.query(FULL)
+            store.delete_ids(np.array([0]))
+            remap = store.compact()
+            with pytest.raises(ConfigurationError, match="compaction"):
+                idx.on_compaction(remap)
+
+
+class TestShardedCompaction:
+    def _engine(self, n_shards: int = 4) -> ShardedIndex:
+        engine = ShardedIndex(_store(120, seed=6), n_shards=n_shards)
+        engine.build()
+        return engine
+
+    def test_full_compaction_compacts_mirror_and_every_shard(self):
+        engine = self._engine()
+        engine.delete(np.arange(0, 120, 2))
+        before = np.sort(engine.query(FULL))
+        assert engine.compact() == 60
+        assert engine.stats.compactions == 1  # one event, not K+1
+        assert engine.store.n == engine.store.live_count
+        for shard in engine.shards:
+            assert shard.store.n == shard.store.live_count
+            shard.index.validate_structure()
+        engine.validate_routing()
+        assert np.array_equal(np.sort(engine.query(FULL)), before)
+
+    def test_maybe_compact_honors_the_dead_fraction_policy(self):
+        engine = self._engine()
+        live = engine.store.ids[engine.store.live_rows()]
+        engine.delete(live[:6])  # 5% dead: below the 0.3 threshold
+        assert engine.maybe_compact(0.3) == 0
+        assert engine.store.n_dead == 6
+        engine.delete(live[6:70])
+        reclaimed = engine.maybe_compact(0.3)
+        assert reclaimed > 0
+        assert engine.store.n == engine.store.live_count
+        engine.validate_routing()
+        assert np.array_equal(np.sort(engine.query(FULL)), np.sort(live[70:]))
+
+    def test_compact_sweeps_shards_a_partial_policy_pass_left_dirty(self):
+        # Two spatial clusters so the STR shards have very different dead
+        # fractions: the policy pass compacts the hot shard and the
+        # mirror, leaving the cold shard tombstoned behind a clean
+        # mirror — the full verb must still sweep it.
+        rng = np.random.default_rng(15)
+        left = rng.uniform(0, 20, size=(40, 2))
+        right = rng.uniform(70, 90, size=(40, 2))
+        lo = np.vstack([left, right])
+        engine = ShardedIndex(BoxStore(lo, lo + 1.0), n_shards=2, partitioner="str")
+        engine.build()
+        engine.delete(np.concatenate([np.arange(30), np.array([41, 42, 43, 44])]))
+        assert engine.maybe_compact(0.3) == 34  # hot shard + mirror
+        assert engine.store.n_dead == 0
+        assert sum(s.store.n_dead for s in engine.shards) == 4  # cold shard
+        before = np.sort(engine.query(FULL))
+        assert engine.compact() == 0  # those rows were already counted
+        for shard in engine.shards:
+            assert shard.store.n == shard.store.live_count
+        engine.validate_routing()
+        assert np.array_equal(np.sort(engine.query(FULL)), before)
+
+    def test_compact_and_maybe_compact_agree_on_accounting(self):
+        # Both verbs count logical rows (mirror tombstones), so for the
+        # same state they report the same number.
+        a = self._engine()
+        b = self._engine()
+        a.delete(np.arange(50))
+        b.delete(np.arange(50))
+        assert a.compact() == b.maybe_compact(0.0) == 50
+
+    def test_maybe_compact_validates_the_threshold(self):
+        engine = self._engine(2)
+        with pytest.raises(ConfigurationError, match="dead_fraction"):
+            engine.maybe_compact(1.5)
+
+    def test_compaction_retightens_shard_pruning_mbbs(self):
+        # Two spatial clusters: killing one entirely must, after
+        # compaction, let its shard prune queries aimed at the dead area.
+        rng = np.random.default_rng(14)
+        left = rng.uniform(0, 20, size=(40, 2))
+        right = rng.uniform(70, 90, size=(40, 2))
+        lo = np.vstack([left, right])
+        store = BoxStore(lo, lo + 1.0)
+        engine = ShardedIndex(store, n_shards=2, partitioner="str")
+        engine.build()
+        engine.delete(np.arange(40))  # the whole left cluster
+        probe = RangeQuery(Box((0.0, 0.0), (15.0, 15.0)), seq=1)
+        engine.stats.reset()
+        assert engine.query(probe).size == 0
+        visited_tombstoned = engine.stats.shards_visited
+        engine.compact()
+        engine.stats.reset()
+        assert engine.query(probe).size == 0
+        assert engine.stats.shards_visited < visited_tombstoned
+        assert engine.stats.shards_pruned == engine.n_shards
