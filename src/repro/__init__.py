@@ -42,6 +42,7 @@ from repro.queries import (
     RangeQuery,
     WorkloadOp,
     clustered_workload,
+    drifting_hotspot_workload,
     hotspot_workload,
     mixed_workload,
     selectivity_sweep,
@@ -49,10 +50,14 @@ from repro.queries import (
 )
 from repro.sharding import (
     BatchResult,
+    MaintenancePolicy,
+    MaintenanceScheduler,
     QueryExecutor,
+    Rebalancer,
     RoundRobinPartitioner,
     STRPartitioner,
     ShardedIndex,
+    WorkloadProfile,
 )
 from repro.updates import (
     MixedRunResult,
@@ -70,6 +75,8 @@ __all__ = [
     "BoxStore",
     "Dataset",
     "IndexStats",
+    "MaintenancePolicy",
+    "MaintenanceScheduler",
     "MixedRunResult",
     "MosaicIndex",
     "MutableSpatialIndex",
@@ -78,6 +85,7 @@ __all__ = [
     "QueryExecutor",
     "RTreeIndex",
     "RangeQuery",
+    "Rebalancer",
     "RoundRobinPartitioner",
     "STRPartitioner",
     "SFCIndex",
@@ -89,8 +97,10 @@ __all__ = [
     "UpdateBuffer",
     "UpdateLedger",
     "WorkloadOp",
+    "WorkloadProfile",
     "__version__",
     "clustered_workload",
+    "drifting_hotspot_workload",
     "hotspot_workload",
     "k_nearest",
     "load_dataset",

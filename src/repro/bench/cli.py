@@ -7,7 +7,11 @@ Examples::
     quasii-bench shard-scaling            # sharded serving engine sweep
     quasii-bench mixed-workload           # update subsystem, incl. sharded
     quasii-bench compaction               # reclaim tombstoned rows: before/after
+    quasii-bench rebalance                # shard rebalancing vs static STR
     quasii-bench all --scale small        # every figure at default scale
+
+Every experiment id, its tables, and the meaning of each reported
+metric are documented in docs/BENCH.md.
 """
 
 from __future__ import annotations

@@ -132,9 +132,14 @@ class QuasiiIndex(MutableSpatialIndex):
                 f"bulk_flush_threshold must be >= 1, got {bulk_flush_threshold}"
             )
         self._max_runs = int(max_runs)
+        # Auto-derived configs over an *empty* store are provisional:
+        # the ladder is re-derived from the first absorbed run's actual
+        # size (see _absorb_pending), so a start-empty index bulk-loaded
+        # with a large batch does not keep thresholds sized for n = 1
+        # (which would shred the run into hundreds of top-level slabs).
+        self._provisional_config = config is None and store.n == 0
+        self._tau = int(tau)
         if config is None:
-            # An empty store (start-empty-then-insert) gets the minimal
-            # ladder; it only ever grows via absorbed insert runs.
             config = QuasiiConfig.for_dataset(max(store.n, 1), store.ndim, tau)
         if config.ndim != store.ndim:
             raise ValueError(
@@ -153,6 +158,7 @@ class QuasiiIndex(MutableSpatialIndex):
         self._config = config
         self._representative = representative
         self._artificial_split = artificial_split
+        self._explicit_bulk_flush = bulk_flush_threshold is not None
         self._bulk_flush_threshold = (
             int(bulk_flush_threshold)
             if bulk_flush_threshold is not None
@@ -264,6 +270,15 @@ class QuasiiIndex(MutableSpatialIndex):
         """Staged rows not yet merged into the slice forest."""
         return len(self._buffer)
 
+    def flush_updates(self) -> int:
+        """Drain the update buffer into the forest without waiting for a
+        query; returns the rows merged (bumps ``merges`` when nonzero)."""
+        self._check_epoch()
+        pending = len(self._buffer)
+        if pending:
+            self._absorb_pending()
+        return pending
+
     def _absorb_pending(self) -> None:
         """Drain the buffer into the store as a coarse appended run.
 
@@ -285,6 +300,17 @@ class QuasiiIndex(MutableSpatialIndex):
         self._seen_epoch = self._store.epoch
         end = self._store.n
         self._max_extent = np.maximum(self._max_extent, self._store.max_extent)
+        if self._provisional_config and not self._tops:
+            # First absorbed run of a start-empty index: the real size
+            # is known now — re-derive the auto ladder for it so a bulk
+            # load refines into sensibly-sized slabs instead of the
+            # n = 1 minimal ladder's.
+            self._config = QuasiiConfig.for_dataset(
+                max(end, 1), self._store.ndim, self._tau
+            )
+            if not self._explicit_bulk_flush:
+                self._bulk_flush_threshold = self._config.threshold(0)
+            self._provisional_config = False
         tail_list = self._tops[-1] if self._tops else None
         tail = tail_list.slices[-1] if tail_list is not None else None
         coalesce = (

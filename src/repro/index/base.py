@@ -61,6 +61,16 @@ class IndexStats:
         Store compactions absorbed through
         :meth:`MutableSpatialIndex.compact` (tombstoned rows physically
         reclaimed and positions remapped).
+    rebalances:
+        Shard-rebalancing passes applied
+        (:class:`repro.sharding.Rebalancer`; 0 for unsharded indexes).
+        Each pass splits a hot shard along the observed query
+        distribution and merges a cold one away.
+    rows_migrated:
+        Rows physically moved between shards by rebalancing passes —
+        the sharding layer's analogue of ``rows_reorganized``: migration
+        is reorganization work paid to keep load balanced, exactly as
+        cracking is reorganization work paid to keep scans short.
     shards_visited:
         Shards whose MBB intersected a query window and were fanned out
         to (:class:`repro.sharding.ShardedIndex`; 0 for unsharded
@@ -81,6 +91,8 @@ class IndexStats:
     deletes: int = 0
     merges: int = 0
     compactions: int = 0
+    rebalances: int = 0
+    rows_migrated: int = 0
     shards_visited: int = 0
     shards_pruned: int = 0
 
@@ -96,6 +108,8 @@ class IndexStats:
         self.deletes = 0
         self.merges = 0
         self.compactions = 0
+        self.rebalances = 0
+        self.rows_migrated = 0
         self.shards_visited = 0
         self.shards_pruned = 0
 
@@ -112,6 +126,8 @@ class IndexStats:
             deletes=self.deletes,
             merges=self.merges,
             compactions=self.compactions,
+            rebalances=self.rebalances,
+            rows_migrated=self.rows_migrated,
             shards_visited=self.shards_visited,
             shards_pruned=self.shards_pruned,
         )
@@ -317,6 +333,21 @@ class MutableSpatialIndex(SpatialIndex):
 
     def pending_updates(self) -> int:
         """Number of staged rows not yet merged into the main structure."""
+        return 0
+
+    def flush_updates(self) -> int:
+        """Force pending (buffered) inserts into the main structure now.
+
+        Lazy implementations (QUASII) normally merge their update buffer
+        on the next query; maintenance operations that relocate rows —
+        shard rebalancing migrates a shard's *store*, so a row still
+        sitting in a buffer would be invisible to the move — need every
+        owned row physically present first.  Returns the number of rows
+        merged (0 when nothing was pending); eager implementations keep
+        the default no-op.  Counts toward the ``merges`` counter exactly
+        like a query-triggered merge.  Does not change query results:
+        buffered rows are already part of the index's answer set.
+        """
         return 0
 
     @abc.abstractmethod

@@ -5,6 +5,7 @@ from repro.queries.range_query import RangeQuery, side_for_volume_fraction
 from repro.queries.workloads import (
     WorkloadOp,
     clustered_workload,
+    drifting_hotspot_workload,
     hotspot_workload,
     mixed_workload,
     selectivity_sweep,
@@ -16,6 +17,7 @@ __all__ = [
     "RangeQuery",
     "WorkloadOp",
     "clustered_workload",
+    "drifting_hotspot_workload",
     "hotspot_workload",
     "load_workload",
     "mixed_workload",

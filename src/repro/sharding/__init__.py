@@ -17,13 +17,31 @@ intact:
   ownership-routed inserts/deletes.
 * :class:`QueryExecutor` / :class:`BatchResult` — batch execution with
   shard affinity on a thread pool, and a sequential fallback.
+* :class:`WorkloadProfile` / :class:`ShardLoad` — the observed query
+  distribution: recent query centroids plus per-shard load deltas.
+* :class:`Rebalancer` / :class:`RebalanceResult` — query-driven shard
+  rebalancing: split hot shards along the observed query centroids,
+  merge cold ones away, migrate rows while preserving the ledger /
+  fingerprint invariants and the ownership map.
+* :class:`MaintenancePolicy` / :class:`MaintenanceScheduler` /
+  :class:`MaintenanceReport` — automatic maintenance on the query path:
+  dead-fraction-gated compaction plus drift-gated rebalancing, ticked
+  by the executors instead of ad-hoc call sites.
 
 The ``shard-scaling`` bench experiment (``quasii-bench shard-scaling``)
 measures batch throughput, pruning, and balance across shard and worker
-counts.
+counts; the ``rebalance`` experiment (``quasii-bench rebalance``) drives
+a drifting hotspot with skewed ingestion and compares the maintained
+engine against the static STR baseline.  Every verb is documented in
+``docs/BENCH.md``.
 """
 
 from repro.sharding.executor import BatchResult, QueryExecutor
+from repro.sharding.maintenance import (
+    MaintenancePolicy,
+    MaintenanceReport,
+    MaintenanceScheduler,
+)
 from repro.sharding.partitioner import (
     PARTITIONERS,
     Partitioner,
@@ -31,18 +49,31 @@ from repro.sharding.partitioner import (
     STRPartitioner,
     make_partitioner,
 )
+from repro.sharding.rebalancer import (
+    RebalanceResult,
+    Rebalancer,
+    ShardLoad,
+    WorkloadProfile,
+)
 from repro.sharding.shard import Shard
 from repro.sharding.sharded_index import IndexFactory, ShardedIndex
 
 __all__ = [
     "BatchResult",
     "IndexFactory",
+    "MaintenancePolicy",
+    "MaintenanceReport",
+    "MaintenanceScheduler",
     "PARTITIONERS",
     "Partitioner",
     "QueryExecutor",
+    "RebalanceResult",
+    "Rebalancer",
     "RoundRobinPartitioner",
     "STRPartitioner",
     "Shard",
+    "ShardLoad",
     "ShardedIndex",
+    "WorkloadProfile",
     "make_partitioner",
 ]

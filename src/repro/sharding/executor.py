@@ -16,6 +16,14 @@ roughly sequential execution plus a small dispatch cost.
 ``max_workers <= 1`` selects the plain sequential fallback (no threads
 at all) — useful as a baseline and on interpreters/platforms where
 thread pools are unwanted.
+
+Passing a :class:`~repro.sharding.maintenance.MaintenancePolicy` makes
+the executor the maintenance driver too: after every batch it ticks a
+:class:`~repro.sharding.maintenance.MaintenanceScheduler`, which
+compacts tombstone-heavy shards and rebalances drifted ones — the
+serving loop needs no ad-hoc ``maybe_compact`` calls sprinkled between
+batches.  Maintenance time is charged to the scheduler's report, not to
+any batch's ``seconds``.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, QueryError
 from repro.queries.range_query import RangeQuery
+from repro.sharding.maintenance import MaintenancePolicy, MaintenanceScheduler
 from repro.sharding.shard import Shard
 from repro.sharding.sharded_index import ShardedIndex
 
@@ -80,9 +89,19 @@ class QueryExecutor:
     max_workers:
         Thread pool width.  ``None`` uses ``os.cpu_count()`` capped at
         the shard count; ``<= 1`` selects the sequential fallback.
+    maintenance:
+        Optional :class:`MaintenancePolicy`; when given, a
+        :class:`MaintenanceScheduler` is ticked after every executed
+        batch, so compaction and rebalancing ride the serving loop
+        (cracking-style) instead of needing ad-hoc call sites.
     """
 
-    def __init__(self, index: ShardedIndex, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        index: ShardedIndex,
+        max_workers: int | None = None,
+        maintenance: MaintenancePolicy | None = None,
+    ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ConfigurationError(
                 f"max_workers must be >= 0, got {max_workers}"
@@ -91,14 +110,37 @@ class QueryExecutor:
         if max_workers is None:
             max_workers = min(os.cpu_count() or 1, index.n_shards)
         self._max_workers = int(max_workers)
+        self._scheduler = (
+            MaintenanceScheduler(index, maintenance)
+            if maintenance is not None
+            else None
+        )
 
     @property
     def max_workers(self) -> int:
         """Resolved thread pool width (1 = sequential fallback)."""
         return self._max_workers
 
+    @property
+    def scheduler(self) -> MaintenanceScheduler | None:
+        """The maintenance scheduler (``None`` without a policy)."""
+        return self._scheduler
+
     def run(self, queries: Sequence[RangeQuery]) -> BatchResult:
-        """Execute a batch; returns per-query merged results plus timing."""
+        """Execute a batch; returns per-query merged results plus timing.
+
+        With a maintenance policy configured, the scheduler is ticked
+        once per executed query *after* the batch completes — its
+        compaction/rebalancing work happens between batches and is
+        charged to the scheduler's report, never to the batch's
+        ``seconds``.
+        """
+        out = self._run_batch(queries)
+        if self._scheduler is not None:
+            self._scheduler.after_ops(len(queries))
+        return out
+
+    def _run_batch(self, queries: Sequence[RangeQuery]) -> BatchResult:
         index = self._index
         if not index.is_built:
             index.build()

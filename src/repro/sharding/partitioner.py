@@ -85,6 +85,13 @@ class STRPartitioner(Partitioner):
     name = "str"
 
     def assign(self, lo: np.ndarray, hi: np.ndarray, n_shards: int) -> np.ndarray:
+        """STR-tile the boxes into exactly ``n_shards`` compact bricks.
+
+        Recursively sorts on one center coordinate per level and cuts
+        the rows into slabs whose row counts are proportional to the
+        shard counts they will contain — near-equal object count per
+        shard, near-cubical tiles.
+        """
         n = lo.shape[0]
         ndim = lo.shape[1]
         owners = np.empty(n, dtype=np.int64)
@@ -126,6 +133,9 @@ class STRPartitioner(Partitioner):
         shard_hi: np.ndarray,
         loads: np.ndarray,
     ) -> np.ndarray:
+        """Route each box to the shard whose MBB it enlarges the least
+        (Guttman's ChooseLeaf criterion on margins), exact ties broken
+        toward the least-loaded shard."""
         # Margin (summed side length) enlargement of each shard MBB per
         # row; margin rather than volume so degenerate (point/line) boxes
         # still produce a gradient.  Empty shards have zero margin, so
@@ -152,6 +162,7 @@ class RoundRobinPartitioner(Partitioner):
         self._cursor = 0
 
     def assign(self, lo: np.ndarray, hi: np.ndarray, n_shards: int) -> np.ndarray:
+        """Deal rows out cyclically: row ``i`` goes to shard ``i % K``."""
         return np.arange(lo.shape[0], dtype=np.int64) % n_shards
 
     def route(
@@ -162,6 +173,8 @@ class RoundRobinPartitioner(Partitioner):
         shard_hi: np.ndarray,
         loads: np.ndarray,
     ) -> np.ndarray:
+        """Continue the cyclic deal across insert batches (a persistent
+        cursor keeps consecutive batches evenly spread)."""
         k = shard_lo.shape[0]
         m = lo.shape[0]
         targets = (self._cursor + np.arange(m, dtype=np.int64)) % k

@@ -35,8 +35,25 @@ class Shard:
 
     @property
     def live_count(self) -> int:
-        """Live rows currently owned by this shard."""
+        """Live rows physically present in this shard's store."""
         return self.store.live_count
+
+    @property
+    def owned_count(self) -> int:
+        """Live rows owned by this shard, buffered inserts included.
+
+        Routed inserts may sit in the shard index's update buffer before
+        physically reaching the store; they are owned (and answered) all
+        the same, so load/balance decisions must count them —
+        :attr:`live_count` alone would under-report a shard that just
+        absorbed a burst.  The buffered count comes from the store's
+        staged-id registry (every buffered row is registered there by
+        the staging gate), **not** from ``pending_updates()``: an
+        index's pending measure may count derived-structure backlog for
+        rows already appended (the grid's overflow entries), which would
+        double-count them here.
+        """
+        return self.store.live_count + self.store.staged_count
 
     @property
     def dead_fraction(self) -> float:

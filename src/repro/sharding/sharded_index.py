@@ -36,6 +36,16 @@ validation gate stays exact across shards.
 
 Batches of queries can be executed across shards in parallel with
 :class:`~repro.sharding.executor.QueryExecutor`.
+
+The engine also observes its own traffic: every planned query's centroid
+is recorded in a :class:`~repro.sharding.rebalancer.WorkloadProfile`, and
+per-shard load is read as deltas of the shard-index counters.  When the
+balance factor or query-load skew drifts, a
+:class:`~repro.sharding.rebalancer.Rebalancer` splits the hot shard
+along the observed query distribution and merges the coldest one away —
+see :mod:`repro.sharding.rebalancer` for the mechanics and
+:mod:`repro.sharding.maintenance` for the scheduling policy that runs
+both rebalancing and compaction on the query path.
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ from repro.geometry.predicates import boxes_intersect_window
 from repro.index.base import MutableSpatialIndex, SpatialIndex
 from repro.queries.range_query import RangeQuery
 from repro.sharding.partitioner import Partitioner, make_partitioner
+from repro.sharding.rebalancer import WorkloadProfile
 from repro.sharding.shard import Shard
 
 #: Builds the per-shard index over a shard's private store.
@@ -117,6 +128,11 @@ class ShardedIndex(MutableSpatialIndex):
         # Fleet work totals already rolled into self.stats (so roll-ups
         # survive an outer stats.reset() without double counting).
         self._work_seen = dict.fromkeys(self._WORK_COUNTERS, 0)
+        #: The observed query distribution: recent planned-query
+        #: centroids plus per-shard load baselines.  Feeds the
+        #: :class:`~repro.sharding.rebalancer.Rebalancer`'s drift
+        #: detection and its query-driven split cut.
+        self.profile = WorkloadProfile()
         self.name = f"Sharded[{self._partitioner.name}x{self._n_shards}]"
 
     #: Shard-level work counters mirrored into the engine's stats; the
@@ -171,11 +187,20 @@ class ShardedIndex(MutableSpatialIndex):
             raise DatasetError(f"id {obj_id} is not live in any shard") from None
 
     def shard_sizes(self) -> list[int]:
-        """Live row count per shard (the balance profile)."""
-        return [s.live_count for s in self._shards]
+        """Owned live rows per shard, buffered inserts included (the
+        balance profile; also the load vector for insert routing)."""
+        return [s.owned_count for s in self._shards]
 
     def balance_factor(self) -> float:
-        """Max/mean live rows across shards (1.0 = perfectly balanced)."""
+        """Max/mean owned live rows across shards (1.0 = perfect balance).
+
+        The drift signal skewed *ingestion* moves: inserts concentrating
+        on few shards push it up, and the
+        :class:`~repro.sharding.rebalancer.Rebalancer` pulls it back
+        down by splitting the largest shard.  Counts buffered inserts
+        (see :attr:`Shard.owned_count`) so a burst is visible before any
+        query drains it.
+        """
         sizes = self.shard_sizes()
         mean = sum(sizes) / len(sizes) if sizes else 0.0
         return max(sizes) / mean if mean > 0 else 1.0
@@ -188,6 +213,18 @@ class ShardedIndex(MutableSpatialIndex):
     # ------------------------------------------------------------------
     # Build: partition + per-shard index construction
     # ------------------------------------------------------------------
+    def _make_shard_index(
+        self, shard_store: BoxStore
+    ) -> tuple[BoxStore, SpatialIndex]:
+        """Run the factory over a shard store, enforcing its contract."""
+        index = self._factory(shard_store)
+        if index.store is not shard_store:
+            raise ConfigurationError(
+                "index_factory must build the index over the shard store "
+                "it was given"
+            )
+        return shard_store, index
+
     def build(self) -> None:
         """Partition the store's live rows and build one index per shard."""
         if self._built:
@@ -197,15 +234,13 @@ class ShardedIndex(MutableSpatialIndex):
         owners = self._partitioner.assign(store.lo[rows], store.hi[rows], self._n_shards)
         for sid in range(self._n_shards):
             mine = rows[owners == sid]
-            shard_store = BoxStore(
-                store.lo[mine].copy(), store.hi[mine].copy(), store.ids[mine].copy()
-            )
-            index = self._factory(shard_store)
-            if index.store is not shard_store:
-                raise ConfigurationError(
-                    "index_factory must build the index over the shard store "
-                    "it was given"
+            shard_store, index = self._make_shard_index(
+                BoxStore(
+                    store.lo[mine].copy(),
+                    store.hi[mine].copy(),
+                    store.ids[mine].copy(),
                 )
+            )
             index.build()
             self._shards.append(Shard(sid, shard_store, index))
         copied = sum(s.store.n for s in self._shards)
@@ -218,6 +253,7 @@ class ShardedIndex(MutableSpatialIndex):
         self._owner = dict(zip(ids.tolist(), owners.tolist()))
         self._seen_epoch = store.epoch
         self._built = True
+        self.profile.rebaseline(self._shards)
 
     # ------------------------------------------------------------------
     # Queries: prune, fan out, merge
@@ -235,8 +271,12 @@ class ShardedIndex(MutableSpatialIndex):
         One vectorized intersection test over the stacked shard MBBs.
         The :class:`~repro.sharding.executor.QueryExecutor` calls this on
         the coordinating thread so counter updates never race; shard-local
-        work then proceeds in parallel.
+        work then proceeds in parallel.  Each planned window's centroid
+        is also recorded in :attr:`profile` — planning is the one spot
+        both the sequential and the parallel path go through exactly
+        once per query, so the observed-traffic record stays exact.
         """
+        self.profile.record(query)
         stack_lo, stack_hi = self._mbb_stacks()
         hits = np.flatnonzero(
             boxes_intersect_window(stack_lo, stack_hi, query.lo, query.hi)
@@ -445,6 +485,110 @@ class ShardedIndex(MutableSpatialIndex):
             for s in self._shards
             if isinstance(s.index, MutableSpatialIndex)
         )
+
+    def flush_updates(self) -> int:
+        """Force every shard's pending buffer into its structure now.
+
+        The fleet-wide form of
+        :meth:`~repro.index.base.MutableSpatialIndex.flush_updates`:
+        after it returns, every owned row is physically present in its
+        shard's store — the precondition for migrating rows between
+        shards.  Returns the total rows merged across the fleet.
+        """
+        if not self._built:
+            return 0
+        flushed = sum(
+            s.index.flush_updates()
+            for s in self._shards
+            if isinstance(s.index, MutableSpatialIndex)
+        )
+        if flushed:
+            self.sync_shard_work()
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Rebalancing: shard-to-shard row migration
+    # ------------------------------------------------------------------
+    # The verbs below only move rows *between shards*: the ingest mirror
+    # is never touched, so the store epoch, the live (id, box) multiset,
+    # and therefore the ledger/fingerprint invariants are preserved by
+    # construction.  rebuild_shard + finish_rebalance are the engine
+    # half of a :class:`~repro.sharding.rebalancer.Rebalancer` pass;
+    # migrate_into is the standalone targeted-migration primitive for
+    # policies that move a row subset without rebuilding the target
+    # (e.g. the ROADMAP's scan-waste-driven migrations).
+
+    def migrate_into(
+        self, sid: int, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray
+    ) -> None:
+        """Adopt already-owned rows into shard ``sid`` without a rebuild.
+
+        The rows must currently live in *other* shards' stores (the
+        caller is responsible for rebuilding those without the rows);
+        ownership is rewritten here and the target shard's pruning MBB
+        expands to cover the batch immediately.
+        """
+        self._require_mutable_shards()
+        shard = self._shards[sid]
+        shard.index.insert(lo, hi, ids)
+        shard.expand(lo, hi)
+        for obj_id in ids.tolist():
+            self._owner[int(obj_id)] = sid
+        self._stack_lo = self._stack_hi = None
+
+    def rebuild_shard(
+        self, sid: int, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray
+    ) -> None:
+        """Replace shard ``sid`` with a fresh store+index over the rows.
+
+        Mutable shard indexes are rebuilt through their own insert/flush
+        path (start-empty, insert the batch, force the merge): a large
+        batch then lands as an STR bulk-loaded, already-refined run
+        (``bulk_flush_threshold``) instead of one coarse slice, so
+        post-rebuild queries do not re-crack the shard from scratch on
+        the serving path.  Immutable factories fall back to a plain
+        build over the populated store.
+
+        The shard's pruning MBB is re-derived from the new store (not
+        inherited — a stale MBB would mis-route the very next
+        least-enlargement insert), ownership is rewritten for every row,
+        the stacked routing MBBs are invalidated, and the fleet work
+        totals are recalibrated so :meth:`sync_shard_work` never sees a
+        negative delta from the discarded index's counters.
+        """
+        # Fold the outgoing index's unsynced work before discarding it.
+        self.sync_shard_work()
+        d = self._store.ndim
+        empty = np.empty((0, d), dtype=np.float64)
+        shard_store, index = self._make_shard_index(BoxStore(empty, empty.copy()))
+        if isinstance(index, MutableSpatialIndex):
+            index.build()
+            if ids.size:
+                index.insert(lo.copy(), hi.copy(), ids.copy())
+                index.flush_updates()
+        else:
+            # The cheap empty-store probe only told us the factory is
+            # immutable; build the real index over the populated store.
+            shard_store, index = self._make_shard_index(
+                BoxStore(lo.copy(), hi.copy(), ids.copy())
+            )
+            index.build()
+        self._shards[sid] = Shard(sid, shard_store, index)
+        for obj_id in ids.tolist():
+            self._owner[int(obj_id)] = sid
+        for name in self._WORK_COUNTERS:
+            self._work_seen[name] = sum(
+                getattr(s.index.stats, name) for s in self._shards
+            )
+        self._stack_lo = self._stack_hi = None
+
+    def finish_rebalance(self, rows_migrated: int) -> None:
+        """Seal a rebalancing pass: counters, profile baseline, MBBs."""
+        self.stats.rebalances += 1
+        self.stats.rows_migrated += int(rows_migrated)
+        self.profile.rebaseline(self._shards)
+        self._stack_lo = self._stack_hi = None
+        self.sync_shard_work()
 
     def validate_routing(self) -> None:
         """Assert the ownership map matches shard stores exactly (tests)."""

@@ -12,7 +12,9 @@ reproduction:
 * :func:`run_mixed_workload` / :class:`MixedRunResult` — per-op-timed
   execution of interleaved query/insert/delete streams
   (:func:`repro.queries.workloads.mixed_workload`), with deterministic
-  delete-victim resolution so Scan can serve as the correctness oracle.
+  delete-victim resolution so Scan can serve as the correctness oracle;
+  a :class:`~repro.sharding.maintenance.MaintenancePolicy` can ride
+  along to run compaction/rebalancing between operations.
 
 The write verbs themselves live on the indexes
 (:class:`repro.index.base.MutableSpatialIndex`): QUASII cracks appended

@@ -14,18 +14,29 @@ the sorted current live-id set.  Because every index starts from an
 identical store copy and ids are reserved in the same order, the victim
 sequence (and therefore every query's expected result) is identical
 across indexes, which is what lets Scan serve as the correctness oracle.
+
+A :class:`~repro.sharding.maintenance.MaintenancePolicy` can ride along:
+the runner then ticks a maintenance scheduler after every operation, so
+compaction (any mutable index) and rebalancing (sharded engines) happen
+on the workload path exactly as they would in a serving loop — amortized
+between operations and charged to ``maintenance_seconds``, never to any
+operation's own timing.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.index.base import MutableSpatialIndex
 from repro.queries.workloads import WorkloadOp
+
+if TYPE_CHECKING:  # pragma: no cover - layering: sharding sits above updates
+    from repro.sharding.maintenance import MaintenancePolicy
 
 
 @dataclass(frozen=True)
@@ -44,7 +55,14 @@ class MixedRunResult:
 
     ``query_results`` holds each query's sorted id array (in op order) so
     callers can cross-check indexes against the Scan oracle without
-    re-running anything.
+    re-running anything.  ``inserts`` / ``deletes`` / ``merges`` /
+    ``compactions`` / ``rebalances`` / ``rows_migrated`` are the
+    :class:`~repro.index.base.IndexStats` counter deltas over the run;
+    ``shards_visited`` / ``shards_pruned`` are nonzero only for sharded
+    targets.  ``maintenance_seconds`` is the wall-clock the maintenance
+    scheduler spent between operations (0.0 without a policy) — it is
+    *excluded* from every per-op timing, so throughput and maintenance
+    cost can be priced separately.
     """
 
     name: str
@@ -53,8 +71,12 @@ class MixedRunResult:
     inserts: int = 0
     deletes: int = 0
     merges: int = 0
+    compactions: int = 0
+    rebalances: int = 0
+    rows_migrated: int = 0
     shards_visited: int = 0
     shards_pruned: int = 0
+    maintenance_seconds: float = 0.0
     final_live: int = 0
 
     @property
@@ -106,12 +128,21 @@ def run_mixed_workload(
     ops: list[WorkloadOp],
     victim_seed: int = 0,
     build: bool = True,
+    maintenance: MaintenancePolicy | None = None,
 ) -> MixedRunResult:
     """Build (optionally) then execute every op against ``index``.
 
     The executor maintains its own live-id set (seeded from the store)
     purely to resolve delete victims; the index is never consulted for
     membership, so a broken index cannot steer the workload.
+
+    With ``maintenance`` given, a
+    :class:`~repro.sharding.maintenance.MaintenanceScheduler` is ticked
+    after every operation: compaction and (for sharded engines)
+    rebalancing run between operations under the policy's thresholds.
+    Their cost lands in ``maintenance_seconds`` and their work in the
+    ``compactions`` / ``rebalances`` / ``rows_migrated`` counters, so
+    throughput comparisons can price the maintenance separately.
     """
     if not isinstance(index, MutableSpatialIndex):
         raise ConfigurationError(
@@ -120,6 +151,12 @@ def run_mixed_workload(
         )
     if build and not index.is_built:
         index.build()
+    scheduler = None
+    if maintenance is not None:
+        # Imported here: repro.sharding layers *above* repro.updates.
+        from repro.sharding.maintenance import MaintenanceScheduler
+
+        scheduler = MaintenanceScheduler(index, maintenance)
     store = index.store
     # Maintained incrementally as a flat array: converting/sorting a
     # Python set per delete op would dominate the harness at scale
@@ -151,10 +188,17 @@ def run_mixed_workload(
             result.timings.append(OpTiming(op.seq, "delete", elapsed, removed))
         else:
             raise ConfigurationError(f"unknown workload op kind {op.kind!r}")
+        if scheduler is not None:
+            scheduler.after_ops(1)
     after = index.stats
     result.inserts = after.inserts - before.inserts
     result.deletes = after.deletes - before.deletes
     result.merges = after.merges - before.merges
+    result.compactions = after.compactions - before.compactions
+    result.rebalances = after.rebalances - before.rebalances
+    result.rows_migrated = after.rows_migrated - before.rows_migrated
+    if scheduler is not None:
+        result.maintenance_seconds = scheduler.report.seconds
     # Nonzero only for sharded targets (repro.sharding.ShardedIndex):
     # how many shard visits the fan-out paid vs. skipped over the run.
     result.shards_visited = after.shards_visited - before.shards_visited

@@ -1,0 +1,201 @@
+"""Property tests for query-driven shard rebalancing.
+
+Hypothesis drives an initial dataset plus an arbitrary interleaving of
+window queries, insert batches, delete batches, compactions, forced
+rebalancing passes, and maintenance ticks against a
+:class:`ShardedIndex` for **every partitioner** and shard counts
+K ∈ {1, 2, 7}.  Invariants that must survive every interleaving:
+
+* **Oracle agreement** — every query returns exactly the live-row set
+  the Scan oracle returns, and a final full-window query returns the
+  complete live id set.
+* **Fingerprint preservation** — a rebalancing pass moves rows between
+  shards only: the ingest mirror's physical fingerprint (and therefore
+  its live ``(id, box)`` multiset) is bit-identical before and after
+  every pass.
+* **Ledger agreement** — the mirror ends with precisely the live
+  multiset implied by the applied updates.
+* **Ownership consistency** — after every pass, each live object is
+  owned by exactly one shard, the ownership map agrees with the shard
+  stores, and the routing MBBs are re-derived from the migrated stores
+  (each shard's pruning MBB contains its store's live bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ScanIndex
+from repro.core import QuasiiConfig, QuasiiIndex
+from repro.datasets import BoxStore
+from repro.geometry import Box
+from repro.queries import RangeQuery
+from repro.sharding import (
+    PARTITIONERS,
+    MaintenancePolicy,
+    MaintenanceScheduler,
+    Rebalancer,
+    ShardedIndex,
+)
+from repro.updates import UpdateLedger
+
+UNIVERSE_SIDE = 100.0
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+@st.composite
+def dataset_and_ops(draw, ndim=2):
+    n = draw(st.integers(2, 60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    lo = rng.uniform(0, UNIVERSE_SIDE, size=(n, ndim))
+    hi = np.minimum(lo + rng.uniform(0, 10, size=(n, ndim)), UNIVERSE_SIDE)
+
+    n_ops = draw(st.integers(1, 12))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(
+            st.sampled_from(
+                ["query", "query", "insert", "delete", "rebalance", "compact", "maintain"]
+            )
+        )
+        if kind == "query":
+            qlo = rng.uniform(-10, UNIVERSE_SIDE, size=ndim)
+            qhi = qlo + rng.uniform(0, 60, size=ndim)
+            ops.append(("query", Box(tuple(qlo), tuple(qhi))))
+        elif kind == "insert":
+            k = draw(st.integers(1, 5))
+            blo = rng.uniform(0, UNIVERSE_SIDE, size=(k, ndim))
+            bhi = np.minimum(blo + rng.uniform(0, 8, size=(k, ndim)), UNIVERSE_SIDE)
+            ops.append(("insert", (blo, bhi)))
+        elif kind == "delete":
+            ops.append(
+                ("delete", (draw(st.integers(1, 4)), draw(st.integers(0, 2**31 - 1))))
+            )
+        else:
+            ops.append((kind, None))
+    return (lo, hi), ops
+
+
+def _full_window(ndim: int) -> RangeQuery:
+    return RangeQuery(
+        Box((-1.0,) * ndim, (UNIVERSE_SIDE + 1.0,) * ndim), seq=10_000
+    )
+
+
+def _small_quasii(store: BoxStore) -> QuasiiIndex:
+    # A handcrafted tiny ladder keeps refinement exercised at toy sizes.
+    return QuasiiIndex(store, QuasiiConfig(2, (8, 4)), max_runs=2)
+
+
+def _assert_routing_mbbs_fresh(engine: ShardedIndex) -> None:
+    """Every shard's pruning MBB must cover its store's live bounds, and
+    the stacked routing MBBs must agree with the per-shard boxes (the
+    post-migration re-derivation the insert router depends on)."""
+    stack_lo, stack_hi = engine._mbb_stacks()
+    for shard in engine.shards:
+        assert np.array_equal(stack_lo[shard.sid], shard.mbb_lo)
+        assert np.array_equal(stack_hi[shard.sid], shard.mbb_hi)
+        store = shard.store
+        rows = store.live_rows()
+        if rows.size:
+            assert np.all(shard.mbb_lo <= store.lo[rows].min(axis=0) + 1e-12)
+            assert np.all(shard.mbb_hi >= store.hi[rows].max(axis=0) - 1e-12)
+
+
+@pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@given(case=dataset_and_ops())
+@settings(max_examples=10, deadline=None)
+def test_rebalancing_preserves_all_invariants(partitioner, n_shards, case):
+    (lo, hi), ops = case
+    scan = ScanIndex(BoxStore(lo.copy(), hi.copy()))
+    engine = ShardedIndex(
+        BoxStore(lo.copy(), hi.copy()),
+        n_shards=n_shards,
+        partitioner=partitioner,
+        index_factory=_small_quasii,
+    )
+    engine.build()
+    ledger = UpdateLedger(scan.store)
+    rebalancer = Rebalancer(min_queries=1, min_centroids=2, warmup=4)
+    scheduler = MaintenanceScheduler(
+        engine,
+        MaintenancePolicy(
+            check_every=1, dead_fraction=0.2, max_balance=1.1,
+            max_query_skew=1.1, min_queries=1,
+        ),
+    )
+
+    seq = 0
+    for kind, payload in ops:
+        if kind == "query":
+            query = RangeQuery(payload, seq=seq)
+            seq += 1
+            expect = np.sort(scan.query(query))
+            got = np.sort(engine.query(query))
+            assert np.array_equal(got, expect), (
+                f"{engine.name} diverged from Scan on query {query.seq}"
+            )
+        elif kind == "insert":
+            blo, bhi = payload
+            expect_ids = scan.insert(blo, bhi)
+            got_ids = engine.insert(blo, bhi)
+            assert np.array_equal(got_ids, expect_ids), "id streams diverged"
+            ledger.record_insert(blo, bhi, expect_ids)
+        elif kind == "delete":
+            count, victim_seed = payload
+            live = ledger.live_ids()
+            count = min(count, live.size)
+            if count == 0:
+                continue
+            victims = np.random.default_rng(victim_seed).choice(
+                live, size=count, replace=False
+            )
+            assert scan.delete(victims) == count
+            assert engine.delete(victims) == count
+            ledger.record_delete(victims)
+        elif kind == "rebalance":
+            mirror_before = engine.store.fingerprint()
+            result = rebalancer.rebalance(engine)
+            assert engine.store.fingerprint() == mirror_before, (
+                "rebalancing touched the ingest mirror"
+            )
+            if n_shards < 2:
+                assert result is None
+            else:
+                assert result is not None
+                assert result.rows_migrated >= 0
+            engine.validate_routing()
+            _assert_routing_mbbs_fresh(engine)
+        elif kind == "compact":
+            live_before = engine.store.live_fingerprint()
+            engine.compact()
+            assert engine.store.live_fingerprint() == live_before, (
+                "compaction changed the live multiset"
+            )
+        else:  # maintain: one full policy-driven maintenance check
+            live_before = engine.store.live_fingerprint()
+            scheduler.run()
+            assert engine.store.live_fingerprint() == live_before, (
+                "maintenance changed the live multiset"
+            )
+            engine.validate_routing()
+            _assert_routing_mbbs_fresh(engine)
+
+    # Final full-window query: the complete live set from the engine.
+    full = _full_window(2)
+    expect = np.sort(scan.query(full))
+    assert np.array_equal(expect, ledger.live_ids())
+    assert np.array_equal(np.sort(engine.query(full)), expect)
+
+    # The ingest mirror holds exactly the ledger's live multiset, the
+    # ownership map agrees with the shard stores, and every shard-level
+    # QUASII kept its structural invariants.
+    ledger.assert_matches(engine.store)
+    engine.validate_routing()
+    for shard in engine.shards:
+        shard.index.validate_structure()

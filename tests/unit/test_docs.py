@@ -1,0 +1,26 @@
+"""Documentation consistency: links resolve, bench verbs documented.
+
+Thin pytest wrapper around :mod:`tools.check_docs` so the tier-1 run
+catches doc drift the same way CI does.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_internal_markdown_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_every_bench_verb_is_documented_and_vice_versa():
+    assert check_docs.check_bench_docs() == []
+
+
+def test_cli_help_lists_every_experiment():
+    assert check_docs.check_cli_help() == []

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (run by CI and the test suite).
+
+Three checks, all filesystem/CLI-only:
+
+1. **Internal links resolve** — every relative markdown link in
+   ``README.md`` and ``docs/*.md`` points at a file that exists.
+2. **Bench verbs documented** — every experiment id registered in
+   ``repro.bench.experiments.EXPERIMENTS`` appears in ``docs/BENCH.md``,
+   and every ``experiment-id``-looking verb documented there is
+   actually registered (docs and CLI cannot drift apart).
+3. **CLI help lists the verbs** — ``python -m repro.bench --help``
+   mentions every registered experiment id.
+
+Exit status 0 when everything holds; 1 with a per-problem report
+otherwise.  Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links must resolve.
+LINKED_DOCS = ["README.md", "docs/ARCHITECTURE.md", "docs/BENCH.md"]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def check_links() -> list[str]:
+    """Relative markdown links in the documented files must resolve."""
+    problems = []
+    for name in LINKED_DOCS:
+        doc = REPO / name
+        if not doc.is_file():
+            problems.append(f"{name}: file missing")
+            continue
+        for target in _LINK.findall(doc.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{name}: broken link -> {target}")
+    return problems
+
+
+def check_bench_docs() -> list[str]:
+    """docs/BENCH.md and the EXPERIMENTS registry must agree."""
+    from repro.bench.experiments import EXPERIMENTS, SCALES
+
+    problems = []
+    bench_md = REPO / "docs" / "BENCH.md"
+    if not bench_md.is_file():
+        return ["docs/BENCH.md: file missing"]
+    text = bench_md.read_text(encoding="utf-8")
+    documented = set(re.findall(r"^\| `([a-z0-9-]+)` \|", text, re.MULTILINE))
+    registered = set(EXPERIMENTS)
+    for verb in sorted(registered - documented):
+        problems.append(f"docs/BENCH.md: experiment {verb!r} is not documented")
+    # Scale presets are documented in the same table style; they are
+    # known ids, not unknown experiments.
+    for verb in sorted(documented - registered - set(SCALES)):
+        problems.append(
+            f"docs/BENCH.md: documents unknown experiment {verb!r}"
+        )
+    return problems
+
+
+def check_cli_help() -> list[str]:
+    """``python -m repro.bench --help`` must list every experiment id."""
+    from repro.bench.cli import build_parser
+    from repro.bench.experiments import EXPERIMENTS
+
+    # argparse wraps long id lists and may break them at hyphens
+    # ("mixed-\nworkload"); squash all whitespace before matching.
+    help_text = re.sub(r"\s+", "", build_parser().format_help())
+    return [
+        f"bench --help does not mention experiment {verb!r}"
+        for verb in sorted(EXPERIMENTS)
+        if verb not in help_text
+    ]
+
+
+def main() -> int:
+    problems = check_links() + check_bench_docs() + check_cli_help()
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs-check: README/docs links, BENCH.md verbs, and CLI help all consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
