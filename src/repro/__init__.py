@@ -8,12 +8,14 @@ variants), static Z-order SFC index, SFCracker, and Mosaic.
 
 Quick start::
 
-    from repro import QuasiiIndex, make_uniform, uniform_workload
+    from repro import Query, QuasiiIndex, make_uniform, uniform_workload
 
     dataset = make_uniform(100_000, seed=42)
     index = QuasiiIndex(dataset.store)
-    for query in uniform_workload(dataset.universe, 100, seed=42):
-        ids = index.query(query)   # the index refines itself as you query
+    queries = [Query(q.window) for q in
+               uniform_workload(dataset.universe, 100, seed=42)]
+    for result in index.execute_batch(queries):   # refines as it answers
+        result.ids, result.count, result.stats, result.seconds
 """
 
 from repro.baselines import (
@@ -35,12 +37,18 @@ from repro.datasets import (
     make_uniform,
     save_dataset,
 )
-from repro.extensions import k_nearest
+from repro.extensions import KNNResult, KNNRound, k_nearest
 from repro.geometry import Box
 from repro.index import IndexStats, MutableSpatialIndex, SpatialIndex
 from repro.queries import (
+    PREDICATES,
+    RESULT_MODES,
+    Query,
+    QueryPlan,
+    QueryResult,
     RangeQuery,
     WorkloadOp,
+    as_query,
     clustered_workload,
     drifting_hotspot_workload,
     hotspot_workload,
@@ -70,6 +78,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PAPER_TAU",
+    "PREDICATES",
+    "RESULT_MODES",
     "BatchResult",
     "Box",
     "BoxStore",
@@ -80,9 +90,14 @@ __all__ = [
     "MixedRunResult",
     "MosaicIndex",
     "MutableSpatialIndex",
+    "KNNResult",
+    "KNNRound",
     "QuasiiConfig",
     "QuasiiIndex",
+    "Query",
     "QueryExecutor",
+    "QueryPlan",
+    "QueryResult",
     "RTreeIndex",
     "RangeQuery",
     "Rebalancer",
@@ -99,6 +114,7 @@ __all__ = [
     "WorkloadOp",
     "WorkloadProfile",
     "__version__",
+    "as_query",
     "clustered_workload",
     "drifting_hotspot_workload",
     "hotspot_workload",

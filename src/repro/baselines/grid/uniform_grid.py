@@ -25,14 +25,15 @@ sheds dead ones (no cell recomputation, no re-sort).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.datasets.store import BoxStore
 from repro.errors import ConfigurationError, QueryError
 from repro.geometry.box import Box
-from repro.geometry.predicates import boxes_intersect_window
-from repro.index.base import MutableSpatialIndex
-from repro.queries.range_query import RangeQuery
+from repro.index.base import IndexStats, MutableSpatialIndex
+from repro.queries.query import Query, QueryPlan, QueryResult
 from repro.util.arrays import gather_ranges
 
 #: Assignment strategy names accepted by :class:`UniformGridIndex`.
@@ -262,37 +263,46 @@ class UniformGridIndex(MutableSpatialIndex):
             self._overflow_flat = self._overflow_flat[keep]
 
     # ------------------------------------------------------------------
-    # Query
+    # Query: the filter step (cells -> candidate rows)
     # ------------------------------------------------------------------
-    def _query(self, query: RangeQuery) -> np.ndarray:
-        if not self._built:
-            raise QueryError("grid queried before build(); call build() first")
+    def _cells_for(self, query_lo: np.ndarray, query_hi: np.ndarray) -> np.ndarray:
+        """Flat ids of every cell the (possibly extended) window overlaps."""
         d = self._store.ndim
         if self._assignment == "query_extension":
             # Centers lie within extent/2 of any point of their box, so
             # half the max extent per side keeps center assignment exact.
             margin = self._store.max_extent / 2.0
-            win_lo = query.lo - margin
-            win_hi = query.hi + margin
+            win_lo = query_lo - margin
+            win_hi = query_hi + margin
         else:
-            win_lo = query.lo
-            win_hi = query.hi
+            win_lo = query_lo
+            win_hi = query_hi
         lo_cell = self._cell_coords(win_lo[None, :])[0]
         hi_cell = self._cell_coords(win_hi[None, :])[0]
-
         # Flattened ids of all cells in the hyper-rectangle of cells.
         axes = [np.arange(lo_cell[k], hi_cell[k] + 1) for k in range(d)]
         mesh = np.meshgrid(*axes, indexing="ij")
-        flat = np.ravel_multi_index(
+        return np.ravel_multi_index(
             tuple(m.ravel() for m in mesh), (self._parts,) * d
         )
-        self.stats.nodes_visited += flat.size
+
+    def _rows_in_cells(self, flat: np.ndarray) -> np.ndarray:
+        """Candidate rows stored in the given cells (CSR + overflow),
+        *before* replication de-duplication."""
         candidate_pos = gather_ranges(self._offsets[flat], self._offsets[flat + 1])
         rows = self._sorted_rows[candidate_pos]
         if self._overflow_flat.size:
             # Probe the uncompacted insert overflow with the same cells.
             extra = self._overflow_rows[np.isin(self._overflow_flat, flat)]
             rows = np.concatenate([rows, extra])
+        return rows
+
+    def _candidates(self, query: Query) -> np.ndarray:
+        if not self._built:
+            raise QueryError("grid queried before build(); call build() first")
+        flat = self._cells_for(query.lo, query.hi)
+        self.stats.nodes_visited += flat.size
+        rows = self._rows_in_cells(flat)
         # Candidate work is counted before de-duplication: replicated
         # copies are exactly the extra objects the paper charges this
         # strategy for (Section 6.2).
@@ -300,15 +310,84 @@ class UniformGridIndex(MutableSpatialIndex):
         if self._assignment == "replication" and rows.size:
             # The de-duplication step the paper charges replication for.
             rows = np.unique(rows)
-        if rows.size == 0:
-            return np.empty(0, dtype=np.int64)
-        store = self._store
-        mask = boxes_intersect_window(
-            store.lo[rows], store.hi[rows], query.lo, query.hi
+        return rows
+
+    def _execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        """One CSR gather and one stacked refine cover the whole batch.
+
+        The per-query cell arithmetic stays a (cheap) loop, but the two
+        expensive steps run once per batch instead of once per query:
+        all cells of all queries go through a single ``gather_ranges`` +
+        row gather, and all candidate rows are tested in one vectorized
+        refine call per predicate present.
+        """
+        if not self._built:
+            raise QueryError("grid queried before build(); call build() first")
+        t0 = time.perf_counter()
+        flats = [self._cells_for(q.lo, q.hi) for q in queries]
+        cell_counts = np.array([f.size for f in flats], dtype=np.int64)
+        all_flat = (
+            np.concatenate(flats) if flats else np.empty(0, dtype=np.int64)
         )
-        if store.n_dead:
-            mask &= store.live[rows]
-        return store.ids[rows[mask]]
+        starts = self._offsets[all_flat]
+        ends = self._offsets[all_flat + 1]
+        all_rows = self._sorted_rows[gather_ranges(starts, ends)]
+        spans = ends - starts
+        edges = np.concatenate(([0], np.cumsum(cell_counts)))
+        rows_list: list[np.ndarray] = []
+        per_stats: list[IndexStats] = []
+        pos = 0
+        for i, q in enumerate(queries):
+            # Cells were gathered in query order, so each query's rows
+            # are a contiguous run of the batch gather.
+            width = int(spans[edges[i] : edges[i + 1]].sum())
+            rows = all_rows[pos : pos + width]
+            pos += width
+            if self._overflow_flat.size:
+                extra = self._overflow_rows[
+                    np.isin(self._overflow_flat, flats[i])
+                ]
+                rows = np.concatenate([rows, extra])
+            self.stats.nodes_visited += int(cell_counts[i])
+            self.stats.objects_tested += rows.size
+            per_stats.append(
+                IndexStats(
+                    nodes_visited=int(cell_counts[i]),
+                    objects_tested=int(rows.size),
+                )
+            )
+            if self._assignment == "replication" and rows.size:
+                rows = np.unique(rows)
+            rows_list.append(rows)
+        payloads = self._refine_stacked(queries, rows_list)
+        return self._wrap_batch(
+            queries, payloads, per_stats, time.perf_counter() - t0
+        )
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Cells and candidate rows the query would touch (no counters).
+
+        Replication counts stored *copies* here (the per-cell entry
+        totals); execution de-duplicates before the refine step, so the
+        replicated plan is an upper bound (``exact=False``) — computing
+        the deduplicated count would cost the very gather planning
+        exists to avoid.
+        """
+        if not self._built:
+            raise QueryError("grid planned before build(); call build() first")
+        flat = self._cells_for(query.lo, query.hi)
+        candidates = int(
+            (self._offsets[flat + 1] - self._offsets[flat]).sum()
+        )
+        if self._overflow_flat.size:
+            candidates += int(np.isin(self._overflow_flat, flat).sum())
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=int(flat.size),
+            candidates=candidates,
+            exact=self._assignment == "query_extension",
+        )
 
     def memory_bytes(self) -> int:
         """CSR arrays (replication inflates ``sorted_rows``) plus overflow."""

@@ -21,9 +21,8 @@ import numpy as np
 from repro.datasets.store import BoxStore
 from repro.errors import ConfigurationError
 from repro.geometry.box import Box
-from repro.geometry.predicates import boxes_intersect_window
 from repro.index.base import SpatialIndex
-from repro.queries.range_query import RangeQuery
+from repro.queries.query import Query, QueryPlan
 
 
 class _Partition:
@@ -141,7 +140,7 @@ class MosaicIndex(SpatialIndex):
         self.stats.cracks += 1
         self.stats.rows_reorganized += int(offsets[-1])
 
-    def _query(self, query: RangeQuery) -> np.ndarray:
+    def _candidates(self, query: Query) -> np.ndarray:
         self._query_serial += 1
         # Centers sit within extent/2 of their boxes, so half the maximum
         # extent keeps center-based assignment exact (query extension).
@@ -149,7 +148,6 @@ class MosaicIndex(SpatialIndex):
         win_lo = query.lo - margin
         win_hi = query.hi + margin
         out: list[np.ndarray] = []
-        store = self._store
         stack = [self._root]
         while stack:
             part = stack.pop()
@@ -170,16 +168,42 @@ class MosaicIndex(SpatialIndex):
                 rows = part.rows
                 if rows.size:
                     self.stats.objects_tested += rows.size
-                    mask = boxes_intersect_window(
-                        store.lo[rows], store.hi[rows], query.lo, query.hi
-                    )
-                    if mask.any():
-                        out.append(store.ids[rows[mask]])
+                    out.append(rows)
             else:
                 stack.extend(part.children)
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Walk the current Octree without splitting anything.
+
+        ``exact=False``: execution deepens overlapping partitions by one
+        level, so the split's children may prune candidates the current
+        leaves would test.
+        """
+        margin = self._store.max_extent / 2.0
+        win_lo = query.lo - margin
+        win_hi = query.hi + margin
+        nodes = 0
+        candidates = 0
+        stack = [self._root]
+        while stack:
+            part = stack.pop()
+            nodes += 1
+            if np.any(part.lo > win_hi) or np.any(part.hi < win_lo):
+                continue
+            if part.is_leaf:
+                candidates += part.size
+            else:
+                stack.extend(part.children)
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=nodes,
+            candidates=candidates,
+            exact=False,
+        )
 
     # ------------------------------------------------------------------
     def partition_count(self) -> int:

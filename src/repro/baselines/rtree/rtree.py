@@ -29,7 +29,7 @@ from repro.datasets.store import BoxStore
 from repro.errors import ConfigurationError, QueryError
 from repro.geometry.predicates import boxes_intersect_window
 from repro.index.base import MutableSpatialIndex
-from repro.queries.range_query import RangeQuery
+from repro.queries.query import Query, QueryPlan
 
 
 class RTreeIndex(MutableSpatialIndex):
@@ -89,27 +89,20 @@ class RTreeIndex(MutableSpatialIndex):
             self.build_work = self._store.n * self._root.height()
         self._built = True
 
-    def _query(self, query: RangeQuery) -> np.ndarray:
+    def _candidates(self, query: Query) -> np.ndarray:
         if self._root is None:
             if self._built:
-                return np.empty(0, dtype=np.int64)  # built empty, no inserts yet
+                # Built empty, no inserts yet: nothing to test.
+                return np.empty(0, dtype=np.int64)
             raise QueryError("R-Tree queried before build(); call build() first")
         out: list[np.ndarray] = []
         stack = [self._root]
-        store = self._store
         while stack:
             node = stack.pop()
             self.stats.nodes_visited += 1
             if node.is_leaf:
-                rows = node.rows
-                self.stats.objects_tested += rows.size
-                mask = boxes_intersect_window(
-                    store.lo[rows], store.hi[rows], query.lo, query.hi
-                )
-                if store.n_dead:
-                    mask &= store.live[rows]
-                if mask.any():
-                    out.append(store.ids[rows[mask]])
+                self.stats.objects_tested += node.rows.size
+                out.append(node.rows)
             else:
                 mask = boxes_intersect_window(
                     node.child_lo, node.child_hi, query.lo, query.hi
@@ -119,6 +112,36 @@ class RTreeIndex(MutableSpatialIndex):
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Walk the tree counting nodes and leaf rows, mutating nothing."""
+        if self._root is None:
+            if self._built:
+                return QueryPlan(
+                    index=self.name, query=query, nodes=0, candidates=0
+                )
+            raise QueryError("R-Tree planned before build(); call build() first")
+        nodes = 0
+        candidates = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            if node.is_leaf:
+                candidates += int(node.rows.size)
+            else:
+                mask = boxes_intersect_window(
+                    node.child_lo, node.child_hi, query.lo, query.hi
+                )
+                for i in np.flatnonzero(mask):
+                    stack.append(node.children[i])
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=nodes,
+            candidates=candidates,
+            exact=True,
+        )
 
     def _insert(
         self, lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None

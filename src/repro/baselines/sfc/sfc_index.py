@@ -11,6 +11,8 @@ the query-extension grid.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.baselines.sfc.zorder import (
@@ -22,8 +24,8 @@ from repro.baselines.sfc.zorder import (
 from repro.datasets.store import BoxStore
 from repro.errors import QueryError
 from repro.geometry.box import Box
-from repro.geometry.predicates import boxes_intersect_window
-from repro.index.base import SpatialIndex
+from repro.index.base import IndexStats, SpatialIndex
+from repro.queries.query import Query, QueryPlan, QueryResult
 from repro.queries.range_query import RangeQuery
 from repro.util.arrays import gather_ranges
 
@@ -75,7 +77,7 @@ class SFCIndex(SpatialIndex):
         self.build_work = n + int(n * np.log2(max(n, 2)))
         self._built = True
 
-    def _intervals_for(self, query: RangeQuery) -> list[tuple[int, int]]:
+    def _intervals_for(self, query: Query | RangeQuery) -> list[tuple[int, int]]:
         """Code intervals tightly covering the (extended) query window."""
         margin = self._store.max_extent / 2.0
         cell_lo = self._grid.cells_of((query.lo - margin)[None, :])[0]
@@ -85,24 +87,86 @@ class SFCIndex(SpatialIndex):
             cell_lo, cell_hi, self._store.ndim, self._grid.bits, min_size
         )
 
-    def _query(self, query: RangeQuery) -> np.ndarray:
-        if not self._built:
-            raise QueryError("SFC index queried before build()")
-        intervals = self._intervals_for(query)
-        self.stats.nodes_visited += len(intervals)
+    def _interval_rows(
+        self, intervals: list[tuple[int, int]]
+    ) -> np.ndarray:
+        """Candidate rows covered by the given code intervals."""
         bounds_lo = np.array([iv[0] for iv in intervals], dtype=np.uint64)
         bounds_hi = np.array([iv[1] + 1 for iv in intervals], dtype=np.uint64)
         starts = np.searchsorted(self._sorted_codes, bounds_lo, side="left")
         ends = np.searchsorted(self._sorted_codes, bounds_hi, side="left")
-        rows = self._sorted_rows[gather_ranges(starts, ends)]
+        return self._sorted_rows[gather_ranges(starts, ends)]
+
+    def _candidates(self, query: Query) -> np.ndarray:
+        if not self._built:
+            raise QueryError("SFC index queried before build()")
+        intervals = self._intervals_for(query)
+        self.stats.nodes_visited += len(intervals)
+        rows = self._interval_rows(intervals)
         self.stats.objects_tested += rows.size
-        if rows.size == 0:
-            return np.empty(0, dtype=np.int64)
-        store = self._store
-        mask = boxes_intersect_window(
-            store.lo[rows], store.hi[rows], query.lo, query.hi
+        return rows
+
+    def _execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        """Amortize the binary searches: two ``searchsorted`` calls cover
+        every interval of every query, and the refine runs in stacked
+        kernels (one per predicate present) over the whole batch."""
+        if not self._built:
+            raise QueryError("SFC index queried before build()")
+        t0 = time.perf_counter()
+        all_lo: list[int] = []
+        all_hi: list[int] = []
+        interval_counts: list[int] = []
+        for q in queries:
+            intervals = self._intervals_for(q)
+            interval_counts.append(len(intervals))
+            all_lo.extend(iv[0] for iv in intervals)
+            all_hi.extend(iv[1] + 1 for iv in intervals)
+        starts = np.searchsorted(
+            self._sorted_codes, np.array(all_lo, dtype=np.uint64), side="left"
         )
-        return store.ids[rows[mask]]
+        ends = np.searchsorted(
+            self._sorted_codes, np.array(all_hi, dtype=np.uint64), side="left"
+        )
+        rows = self._sorted_rows[gather_ranges(starts, ends)]
+        # Intervals were emitted in query order, so the gathered rows are
+        # contiguous per query; split them at the per-query totals.
+        spans = ends - starts
+        offsets = np.concatenate(([0], np.cumsum(interval_counts)))
+        rows_list: list[np.ndarray] = []
+        per_stats: list[IndexStats] = []
+        pos = 0
+        for i, q in enumerate(queries):
+            width = int(spans[offsets[i] : offsets[i + 1]].sum())
+            rows_list.append(rows[pos : pos + width])
+            pos += width
+            self.stats.nodes_visited += interval_counts[i]
+            self.stats.objects_tested += width
+            per_stats.append(
+                IndexStats(
+                    nodes_visited=interval_counts[i], objects_tested=width
+                )
+            )
+        payloads = self._refine_stacked(queries, rows_list)
+        return self._wrap_batch(
+            queries, payloads, per_stats, time.perf_counter() - t0
+        )
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Intervals and candidate rows the query would touch."""
+        if not self._built:
+            raise QueryError("SFC index planned before build()")
+        intervals = self._intervals_for(query)
+        bounds_lo = np.array([iv[0] for iv in intervals], dtype=np.uint64)
+        bounds_hi = np.array([iv[1] + 1 for iv in intervals], dtype=np.uint64)
+        starts = np.searchsorted(self._sorted_codes, bounds_lo, side="left")
+        ends = np.searchsorted(self._sorted_codes, bounds_hi, side="left")
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=len(intervals),
+            candidates=int((ends - starts).sum()),
+            exact=True,
+        )
 
     def _on_compaction(self, remap: np.ndarray) -> None:
         """Remap the sorted row array; drop entries of dead rows.

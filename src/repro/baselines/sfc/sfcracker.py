@@ -32,9 +32,8 @@ from repro.baselines.sfc.zorder import (
 from repro.core.cracking import crack_values
 from repro.datasets.store import BoxStore
 from repro.geometry.box import Box
-from repro.geometry.predicates import boxes_intersect_window
 from repro.index.base import SpatialIndex
-from repro.queries.range_query import RangeQuery
+from repro.queries.query import Query, QueryPlan
 from repro.util.arrays import gather_ranges
 
 
@@ -104,16 +103,20 @@ class SFCrackerIndex(SpatialIndex):
         self._positions.insert(idx + 1, split)
         return split
 
-    def _query(self, query: RangeQuery) -> np.ndarray:
-        if self._codes is None:
-            self._initialize()
+    def _intervals_for(self, query: Query) -> list[tuple[int, int]]:
+        """Code intervals tightly covering the (extended) query window."""
         margin = self._store.max_extent / 2.0
         cell_lo = self._grid.cells_of((query.lo - margin)[None, :])[0]
         cell_hi = self._grid.cells_of((query.hi + margin)[None, :])[0]
         min_size = adaptive_min_size(cell_lo, cell_hi)
-        intervals = zrange_decompose(
+        return zrange_decompose(
             cell_lo, cell_hi, self._store.ndim, self._grid.bits, min_size
         )
+
+    def _candidates(self, query: Query) -> np.ndarray:
+        if self._codes is None:
+            self._initialize()
+        intervals = self._intervals_for(query)
         self.stats.nodes_visited += len(intervals)
         starts = np.empty(len(intervals), dtype=np.int64)
         ends = np.empty(len(intervals), dtype=np.int64)
@@ -124,13 +127,37 @@ class SFCrackerIndex(SpatialIndex):
             ends[i] = self._crack_to(hi + 1)
         rows = self._rows[gather_ranges(starts, ends)]
         self.stats.objects_tested += rows.size
-        if rows.size == 0:
-            return np.empty(0, dtype=np.int64)
-        store = self._store
-        mask = boxes_intersect_window(
-            store.lo[rows], store.hi[rows], query.lo, query.hi
+        return rows
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Intervals plus the rows the current piece table would gather.
+
+        Planning never cracks, so candidate counts come from the pieces
+        *spanning* each interval (the rows a query would pay to narrow);
+        execution cracks them tighter, hence ``exact=False``.  Before
+        the first query the whole array is one piece.
+        """
+        intervals = self._intervals_for(query)
+        if self._codes is None:
+            return QueryPlan(
+                index=self.name,
+                query=query,
+                nodes=len(intervals),
+                candidates=self._store.n,
+                exact=False,
+            )
+        candidates = 0
+        for lo, hi in intervals:
+            left = bisect_right(self._bounds, lo) - 1
+            right = bisect_right(self._bounds, hi) - 1
+            candidates += self._positions[right + 1] - self._positions[left]
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=len(intervals),
+            candidates=candidates,
+            exact=False,
         )
-        return store.ids[rows[mask]]
 
     # ------------------------------------------------------------------
     @property

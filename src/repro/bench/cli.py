@@ -4,6 +4,7 @@ Examples::
 
     quasii-bench headline                 # the paper's headline numbers
     quasii-bench fig7 fig8 --scale smoke  # quick versions of two figures
+    quasii-bench query-api                # batch vs loop, predicates, count-only
     quasii-bench shard-scaling            # sharded serving engine sweep
     quasii-bench mixed-workload           # update subsystem, incl. sharded
     quasii-bench compaction               # reclaim tombstoned rows: before/after

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.index.base import SpatialIndex
+from repro.queries.query import as_query
 from repro.queries.range_query import RangeQuery
 
 
@@ -135,19 +136,19 @@ def run_workload(
         build_work=index.build_work,
     )
     for q in queries:
-        before = index.stats.snapshot()
-        t0 = time.perf_counter()
-        hits = index.query(q)
-        elapsed = time.perf_counter() - t0
-        after = index.stats
+        # The first-class API carries the per-query counter delta and
+        # timing itself; the harness just records them.  (Sharded
+        # engines report fleet work through the same delta after their
+        # post-query roll-up.)
+        res = index.execute(as_query(q))
         result.timings.append(
             QueryTiming(
                 seq=q.seq,
-                seconds=elapsed,
-                results=int(hits.size),
-                objects_tested=after.objects_tested - before.objects_tested,
-                cracks=after.cracks - before.cracks,
-                rows_reorganized=after.rows_reorganized - before.rows_reorganized,
+                seconds=res.seconds,
+                results=res.count,
+                objects_tested=res.stats.objects_tested,
+                cracks=res.stats.cracks,
+                rows_reorganized=res.stats.rows_reorganized,
             )
         )
     return result

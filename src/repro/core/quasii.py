@@ -9,8 +9,9 @@ The index is built *as a side effect of query execution*.  Each query:
    three-way, two-way, or artificial (midpoint) slicing — with the query
    **extended by the maximum object extent** on the lower side so that
    representing objects by their lower coordinate never loses results;
-3. scans fully refined bottom-level slices against the raw window and
-   collects intersecting objects.
+3. collects fully refined bottom-level slices as candidate rows; the
+   shared refine kernel (:mod:`repro.index.base`) then tests them
+   against the raw window under the query's predicate and result mode.
 
 The hierarchy converges toward an STR-like tiling of exactly the regions
 queries touch; untouched regions stay coarse (a single unsorted run of the
@@ -48,7 +49,7 @@ from repro.core.slices import Slice, SliceList
 from repro.datasets.store import BoxStore
 from repro.errors import ConfigurationError
 from repro.index.base import MutableSpatialIndex
-from repro.queries.range_query import RangeQuery
+from repro.queries.query import Query, QueryPlan, QueryResult
 from repro.updates.buffer import UpdateBuffer
 
 _INF = float("inf")
@@ -206,7 +207,7 @@ class QuasiiIndex(MutableSpatialIndex):
         """Number of top-level slice lists (1 + absorbed insert runs)."""
         return len(self._tops)
 
-    def _extended_bounds(self, query: RangeQuery, dim: int) -> tuple[float, float]:
+    def _extended_bounds(self, query: Query, dim: int) -> tuple[float, float]:
         """Query range on ``dim`` extended for the chosen representative.
 
         An object intersecting the window can have its representative key
@@ -227,7 +228,7 @@ class QuasiiIndex(MutableSpatialIndex):
         """No-op: QUASII has no pre-processing step (that is the point)."""
         self._built = True
 
-    def _query(self, query: RangeQuery) -> np.ndarray:
+    def _candidates(self, query: Query) -> np.ndarray:
         if len(self._buffer):
             self._absorb_pending()
         out: list[np.ndarray] = []
@@ -236,6 +237,59 @@ class QuasiiIndex(MutableSpatialIndex):
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
+
+    def _execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        """Amortize the buffer merge across the batch, then crack per query.
+
+        Draining the update buffer (and any run collapse / STR bulk load
+        it triggers) happens at most once per batch instead of being
+        re-checked on every call; each query then refines the forest
+        exactly as in single-shot execution — cracking is inherently
+        per-query, that is the point of the index.
+        """
+        if len(self._buffer):
+            self._absorb_pending()
+        return super()._execute_batch(queries)
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Walk the current forest without refining or merging anything.
+
+        Counts the slices the walk would visit and the rows of every
+        overlapping deepest-materialized slice; pending buffered rows
+        are added whole (execution would absorb them into a coarse run
+        first).  ``exact=False`` — execution cracks oversized slices,
+        so the real scan is typically narrower.
+        """
+        nodes = 0
+        candidates = 0
+        stack: list[SliceList] = list(self._tops)
+        while stack:
+            slices = stack.pop()
+            dim = slices.level
+            extended_lo, extended_hi = self._extended_bounds(query, dim)
+            i = slices.find_start(extended_lo)
+            while i < len(slices):
+                node = slices[i]
+                if node.cut_lo > extended_hi:
+                    break
+                nodes += 1
+                if node.intersects(query.lo, query.hi):
+                    if (
+                        node.level == self._config.ndim - 1
+                        or node.children is None
+                    ):
+                        candidates += node.size
+                    else:
+                        stack.append(node.children)
+                i += 1
+        candidates += len(self._buffer)
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=nodes,
+            candidates=candidates,
+            exact=False,
+        )
 
     # ------------------------------------------------------------------
     # Updates: staged inserts, lazy merge, tombstone deletes
@@ -535,7 +589,7 @@ class QuasiiIndex(MutableSpatialIndex):
     # Algorithm 1: query processing
     # ------------------------------------------------------------------
     def _query_level(
-        self, slices: SliceList, query: RangeQuery, out: list[np.ndarray]
+        self, slices: SliceList, query: Query, out: list[np.ndarray]
     ) -> None:
         dim = slices.level
         extended_lo, extended_hi = self._extended_bounds(query, dim)
@@ -564,13 +618,17 @@ class QuasiiIndex(MutableSpatialIndex):
             i += 1
 
     def _scan_leaf(
-        self, node: Slice, query: RangeQuery, out: list[np.ndarray]
+        self, node: Slice, query: Query, out: list[np.ndarray]
     ) -> None:
-        """Bottom level: test every slice member against the raw window."""
+        """Bottom level: emit the slice members as candidate rows.
+
+        The exact predicate test happens once in the shared refine
+        kernel, after the walk finishes — safe because cracking is
+        range-local, so later refinements of *other* slices never move
+        rows out of an already-collected leaf range.
+        """
         self.stats.objects_tested += node.size
-        hits = self._store.scan_range(node.begin, node.end, query.lo, query.hi)
-        if hits.size:
-            out.append(hits)
+        out.append(np.arange(node.begin, node.end, dtype=np.int64))
 
     def _default_child(self, node: Slice) -> SliceList:
         """Lazy default child (Algorithm 1, Line 15): same rows, next level."""
@@ -588,7 +646,7 @@ class QuasiiIndex(MutableSpatialIndex):
     # ------------------------------------------------------------------
     # Algorithm 2: refinement
     # ------------------------------------------------------------------
-    def _refine(self, node: Slice, query: RangeQuery) -> list[Slice] | None:
+    def _refine(self, node: Slice, query: Query) -> list[Slice] | None:
         """Refine ``node`` against ``query``; None means "already refined".
 
         Returns the replacement sibling run (>= 1 slices, query-overlapping
@@ -657,7 +715,7 @@ class QuasiiIndex(MutableSpatialIndex):
         begin: int,
         end: int,
         cut_lo: float,
-        query: RangeQuery,
+        query: Query,
         tau: int,
         out: list[Slice],
     ) -> None:

@@ -7,6 +7,6 @@ This package delivers on that: :func:`k_nearest` runs kNN over *any*
 QUASII — via expanding-window range search.
 """
 
-from repro.extensions.knn import k_nearest
+from repro.extensions.knn import KNNResult, KNNRound, k_nearest
 
-__all__ = ["k_nearest"]
+__all__ = ["KNNResult", "KNNRound", "k_nearest"]

@@ -1,26 +1,33 @@
-"""k-nearest-neighbour search on top of range queries.
+"""k-nearest-neighbour search on top of the first-class query API.
 
-Classic expanding-window kNN: query a cube window around the target point,
-grow it geometrically until the k-th candidate's Euclidean distance is no
-larger than the window's half-side.  At that point no unseen object can be
-closer (an object outside the window has L∞ distance — hence Euclidean
-distance — greater than the half-side), so the answer is exact.
+Classic expanding-window kNN, restructured around result modes: each
+probe round issues a **count-only** query (no ids or coordinates are
+materialized — and on incremental indexes the probe still cracks, so
+probes contribute to the structure like any query); once a window holds
+at least ``k`` candidates, a single **materializing** round fetches ids
+*with their boxes* (``mode="boxes"``), so distances are computed straight
+from the result payload instead of re-resolving ids to store rows.  The
+search is exact: when the k-th candidate's Euclidean distance is no
+larger than the window's half-side, no unseen object can be closer (an
+object outside the window has L∞ — hence Euclidean — distance greater
+than the half-side).
 
-Works with any index of this library; running it against a QUASII instance
-doubles as a demonstration that ad-hoc query types benefit from (and
-contribute to) the incrementally built structure.
+Works with any index of this library; running it against a QUASII
+instance doubles as a demonstration that ad-hoc query types benefit from
+(and contribute to) the incrementally built structure.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.box import Box
-from repro.index.base import SpatialIndex
-from repro.queries.range_query import RangeQuery
+from repro.index.base import IndexStats, SpatialIndex
+from repro.queries.query import Query
 
 
 def box_distances(
@@ -31,6 +38,65 @@ def box_distances(
     return np.sqrt(((clamped - point) ** 2).sum(axis=1))
 
 
+@dataclass(frozen=True)
+class KNNRound:
+    """One expanding-window round's accounting.
+
+    Attributes
+    ----------
+    half_side:
+        The window half-side this round probed.
+    mode:
+        ``"count"`` for probe rounds, ``"boxes"`` for materializing ones.
+    count:
+        Matching objects inside the window.
+    seconds:
+        Wall-clock of the round's query.
+    stats:
+        The round's :class:`~repro.index.base.IndexStats` delta —
+        objects tested, cracks, rows moved (probe rounds on incremental
+        indexes do real refinement work; this is where it shows).
+    """
+
+    half_side: float
+    mode: str
+    count: int
+    seconds: float
+    stats: IndexStats
+
+
+@dataclass
+class KNNResult:
+    """The ``k`` nearest neighbours plus the per-round cost trail.
+
+    Sequence-compatible with the legacy ``list[(id, distance)]`` return
+    (iteration, indexing, and ``len`` all see :attr:`neighbors`), so
+    long-standing call sites keep working while new ones read
+    :attr:`rounds`.
+    """
+
+    neighbors: list[tuple[int, float]] = field(default_factory=list)
+    rounds: list[KNNRound] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of executed window rounds (probes + materializing)."""
+        return len(self.rounds)
+
+    def total_seconds(self) -> float:
+        """Wall-clock across all rounds."""
+        return float(sum(r.seconds for r in self.rounds))
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return iter(self.neighbors)
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    def __getitem__(self, idx):
+        return self.neighbors[idx]
+
+
 def k_nearest(
     index: SpatialIndex,
     point: Sequence[float],
@@ -38,14 +104,14 @@ def k_nearest(
     initial_half_side: float | None = None,
     growth: float = 2.0,
     max_rounds: int = 64,
-) -> list[tuple[int, float]]:
+) -> KNNResult:
     """The ``k`` objects nearest to ``point`` (Euclidean box distance).
 
     Parameters
     ----------
     index:
         Any index over a :class:`BoxStore`; it receives the expanding
-        range queries (and, if incremental, refines itself on them).
+        window queries (and, if incremental, refines itself on them).
     point:
         Target coordinates (length d).
     k:
@@ -60,8 +126,10 @@ def k_nearest(
 
     Returns
     -------
-    list[(id, distance)]
-        Exactly ``k`` pairs, ascending distance (ties broken by id).
+    KNNResult
+        ``neighbors`` holds exactly ``k`` ``(id, distance)`` pairs,
+        ascending distance (ties broken by id); ``rounds`` the per-round
+        stats (count-only probes plus the materializing round(s)).
     """
     store = index.store
     pt = np.asarray(point, dtype=np.float64)
@@ -79,23 +147,40 @@ def k_nearest(
         initial_half_side = 0.5 * (volume * k / store.n) ** (1.0 / store.ndim)
         initial_half_side = max(initial_half_side, 1e-12)
 
-    # id -> current row lookup (stores get permuted by incremental indexes,
-    # and may be permuted further by the very queries we are about to run,
-    # so the mapping is recomputed per round).
+    result = KNNResult()
     half = float(initial_half_side)
-    seq = 0
+    # Window counts are monotone under growth, so once one window held
+    # k candidates every later one does too — probe rounds stop and
+    # each remaining round is a single materializing query.
+    have_enough = False
     for _ in range(max_rounds):
         window = Box(tuple(pt - half), tuple(pt + half))
-        ids = index.query(RangeQuery(window, seq=seq))
-        seq += 1
-        if ids.size >= k:
-            order = np.argsort(store.ids, kind="stable")
-            rows = order[np.searchsorted(store.ids[order], np.sort(ids))]
-            dists = box_distances(store.lo[rows], store.hi[rows], pt)
-            ranked = sorted(zip(dists, np.sort(ids).tolist()))
+        if not have_enough:
+            # Probe round: count-only, nothing materialized.
+            probe = index.execute(Query(window, mode="count"))
+            result.rounds.append(
+                KNNRound(
+                    half, "count", probe.count, probe.seconds, probe.stats
+                )
+            )
+            have_enough = probe.count >= k
+        if have_enough:
+            # Materializing round: ids + boxes in one payload, so
+            # distances come straight off the result.
+            final = index.execute(Query(window, mode="boxes"))
+            result.rounds.append(
+                KNNRound(
+                    half, "boxes", final.count, final.seconds, final.stats
+                )
+            )
+            dists = box_distances(final.boxes[0], final.boxes[1], pt)
+            ranked = sorted(zip(dists.tolist(), final.ids.tolist()))
             kth = ranked[k - 1][0]
             if kth <= half:
-                return [(int(i), float(d)) for d, i in ranked[:k]]
+                result.neighbors = [
+                    (int(i), float(d)) for d, i in ranked[:k]
+                ]
+                return result
         half *= growth
     raise QueryError(
         f"kNN did not converge within {max_rounds} rounds "

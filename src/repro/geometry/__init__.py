@@ -8,20 +8,24 @@ vectorized predicate kernels used by every index implementation.
 
 from repro.geometry.box import Box
 from repro.geometry.predicates import (
+    boxes_contain_window,
     boxes_contained_in_window,
     boxes_intersect_window,
     centers_in_window,
     intersects,
     lower_corners_in_window,
     mbr_of,
+    predicate_mask,
 )
 
 __all__ = [
     "Box",
+    "boxes_contain_window",
     "boxes_contained_in_window",
     "boxes_intersect_window",
     "centers_in_window",
     "intersects",
     "lower_corners_in_window",
     "mbr_of",
+    "predicate_mask",
 ]

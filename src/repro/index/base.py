@@ -1,16 +1,38 @@
 """Abstract interface implemented by every index in the library.
 
 The paper compares seven systems (Scan, SFC, SFCracker, Grid, Mosaic,
-R-Tree, QUASII).  They all expose the same two-phase contract:
+R-Tree, QUASII).  They all expose the same contract:
 
 * :meth:`SpatialIndex.build` — the static pre-processing step.  For
   incremental indexes this is (nearly) free; for static ones it is the
   "Building" bar of Figures 11 and 12.  The benchmark harness times it
   separately so cumulative-time plots can include it, exactly as the paper
   does.
-* :meth:`SpatialIndex.query` — answer one range query, *possibly mutating
-  internal state and the data array* (that is the whole point of
-  incremental indexing).
+* :meth:`SpatialIndex.execute` — answer one first-class
+  :class:`~repro.queries.query.Query` (window + predicate + result
+  mode), *possibly mutating internal state and the data array* (that is
+  the whole point of incremental indexing), returning a
+  :class:`~repro.queries.query.QueryResult` with the payload, a
+  per-query :class:`IndexStats` delta, and wall-clock.
+* :meth:`SpatialIndex.execute_batch` — answer a sequence of queries
+  natively: shared validation, amortized maintenance, and (where the
+  structure allows — Scan, Grid, SFC) genuinely vectorized candidate
+  matrices covering the whole batch.
+* :meth:`SpatialIndex.plan` — report what a query *would* touch
+  (nodes/cells/slices, candidate rows, shards) without executing it.
+* :meth:`SpatialIndex.query` — the legacy single-shot entry point
+  (intersects predicate, ids payload).  Kept as a thin compatibility
+  wrapper over :meth:`execute` so long-standing call sites and the
+  property suites double as regression oracles for the new layer; new
+  code should prefer :meth:`execute`.
+
+Execution is split into the classic *filter → refine* pipeline, shared
+across all indexes: each implementation supplies only
+:meth:`SpatialIndex._candidates` (the filter step — a candidate row
+superset for the query window, produced however the structure likes,
+cracking included), while the refine step — predicate evaluation,
+live-row masking, count-only short-circuits, and result packaging — is
+implemented once here.
 
 Implementations also maintain an :class:`IndexStats` counter block so the
 harness can report machine-independent work measures (objects tested,
@@ -20,12 +42,16 @@ cracks performed) next to wall-clock times.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Sequence
 
 import numpy as np
 
 from repro.datasets.store import BoxStore
 from repro.errors import ConfigurationError, QueryError
+from repro.geometry.predicates import predicate_mask
+from repro.queries.query import Query, QueryPlan, QueryResult, as_query
 from repro.queries.range_query import RangeQuery
 
 
@@ -116,20 +142,19 @@ class IndexStats:
     def snapshot(self) -> IndexStats:
         """A frozen copy of the current counter values."""
         return IndexStats(
-            queries=self.queries,
-            objects_tested=self.objects_tested,
-            results_returned=self.results_returned,
-            nodes_visited=self.nodes_visited,
-            cracks=self.cracks,
-            rows_reorganized=self.rows_reorganized,
-            inserts=self.inserts,
-            deletes=self.deletes,
-            merges=self.merges,
-            compactions=self.compactions,
-            rebalances=self.rebalances,
-            rows_migrated=self.rows_migrated,
-            shards_visited=self.shards_visited,
-            shards_pruned=self.shards_pruned,
+            **{
+                f.name: getattr(self, f.name)
+                for f in dataclass_fields(self)
+            }
+        )
+
+    def delta_since(self, before: IndexStats) -> IndexStats:
+        """Counter-wise difference ``self - before`` (per-query deltas)."""
+        return IndexStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in dataclass_fields(self)
+            }
         )
 
 
@@ -180,16 +205,264 @@ class SpatialIndex(abc.ABC):
         self._built = True
 
     def query(self, query: RangeQuery) -> np.ndarray:
-        """Answer a range query, returning intersecting object identifiers."""
+        """Answer a legacy range query, returning intersecting identifiers.
+
+        **Legacy surface.**  This is the paper's original single-shot
+        contract (intersects predicate, unordered-ids payload), kept as
+        a thin wrapper over :meth:`execute` so existing call sites and
+        the property suites keep working unchanged — it emits no
+        warning and is not scheduled for removal, but new code should
+        use :meth:`execute`, which exposes predicates, result modes,
+        per-query stats, and timing.
+        """
+        return self.execute(Query.from_range(query)).ids
+
+    # ------------------------------------------------------------------
+    # First-class execution: execute / execute_batch / plan
+    # ------------------------------------------------------------------
+    def execute(self, query: Query | RangeQuery) -> QueryResult:
+        """Execute one first-class query; returns payload + cost accounting.
+
+        The single entry point behind every read verb: validates the
+        window dimensionality and the store epoch, runs the index's
+        filter step (:meth:`_candidates`) and the shared refine step
+        (predicate + live mask + result packaging), and wraps the
+        payload with this query's :class:`IndexStats` delta and
+        wall-clock.
+        """
+        query = as_query(query)
+        self._gate(query)
+        return self._timed_one(query)
+
+    def execute_batch(
+        self, queries: Sequence[Query | RangeQuery]
+    ) -> list[QueryResult]:
+        """Execute a batch of queries natively, one result per query.
+
+        Validation and the epoch check run once for the whole batch;
+        implementations with vectorizable structure (Scan, Grid, SFC)
+        additionally answer the batch through shared candidate matrices
+        (one kernel invocation per predicate present instead of one per
+        query), and incremental indexes amortize buffer merges across
+        the batch.  Results come back in submission order and match a
+        Python loop of :meth:`execute` calls exactly.
+        """
+        queries = [as_query(q) for q in queries]
+        for q in queries:
+            self._gate_dim(q)
+        self._check_epoch()
+        return self._execute_batch(queries)
+
+    def plan(self, query: Query | RangeQuery) -> QueryPlan:
+        """Report what this query *would* touch, without executing it.
+
+        Planning never mutates the index — no cracking, splitting, or
+        counter updates — so for incremental structures the numbers
+        describe the pre-refinement state (``exact=False`` marks them
+        as upper bounds).
+        """
+        query = as_query(query)
+        self._gate(query)
+        return self._plan(query)
+
+    # -- gate helpers ---------------------------------------------------
+    def _gate_dim(self, query: Query) -> None:
         if query.ndim != self._store.ndim:
             raise QueryError(
                 f"query has {query.ndim} dims, store has {self._store.ndim}"
             )
+
+    def _gate(self, query: Query) -> None:
+        self._gate_dim(query)
         self._check_epoch()
+
+    # -- shared execution skeleton --------------------------------------
+    def _timed_one(self, query: Query) -> QueryResult:
+        """Run one gated query with stats-delta and wall-clock capture."""
+        before = self.stats.snapshot()
+        t0 = time.perf_counter()
         self.stats.queries += 1
-        result = self._query(query)
-        self.stats.results_returned += int(result.size)
-        return result
+        count, ids, boxes = self._execute(query)
+        self.stats.results_returned += (
+            int(ids.size) if ids is not None else count
+        )
+        return QueryResult(
+            query=query,
+            count=count,
+            ids=ids,
+            boxes=boxes,
+            stats=self.stats.delta_since(before),
+            seconds=time.perf_counter() - t0,
+        )
+
+    def _execute(
+        self, query: Query
+    ) -> tuple[int, np.ndarray | None, tuple[np.ndarray, np.ndarray] | None]:
+        """Produce one query's raw payload ``(count, ids, boxes)``.
+
+        Default: the filter → refine pipeline over this index's
+        candidate set.  Facade indexes that fan out to other indexes
+        (:class:`~repro.sharding.sharded_index.ShardedIndex`) override
+        this instead of :meth:`_candidates`.
+        """
+        return self._refine_candidates(query, self._candidates(query))
+
+    def _execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        """Batch execution after the shared gate; default is a loop.
+
+        Overridden where the structure admits a genuinely batched
+        path (vectorized candidate matrices, amortized merges,
+        per-shard sub-batches).
+        """
+        return [self._timed_one(q) for q in queries]
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Index-specific plan; default assumes a full-store scan."""
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=0,
+            candidates=self._store.n,
+            exact=True,
+        )
+
+    # -- the shared refine kernel ---------------------------------------
+    def _refine_candidates(
+        self, query: Query, rows: np.ndarray | None
+    ) -> tuple[int, np.ndarray | None, tuple[np.ndarray, np.ndarray] | None]:
+        """Refine candidate rows: predicate, live mask, packaging.
+
+        ``rows`` is the filter step's output — a candidate row superset
+        (dead rows and false positives allowed) or ``None`` meaning
+        "every physical row" (the whole-store fast path, which tests
+        the corner matrices in place without gathering).  Count-only
+        queries short-circuit before any id/coordinate materialization.
+        """
+        store = self._store
+        if rows is None:
+            mask = predicate_mask(
+                query.predicate, store.lo, store.hi, query.lo, query.hi
+            )
+            if store.n_dead:
+                mask &= store.live
+            if query.count_only:
+                return int(mask.sum()), None, None
+            return self._package(query, np.flatnonzero(mask))
+        if rows.size == 0:
+            return self._package(query, rows)
+        mask = predicate_mask(
+            query.predicate, store.lo[rows], store.hi[rows], query.lo, query.hi
+        )
+        if store.n_dead:
+            mask &= store.live[rows]
+        if query.count_only:
+            return int(mask.sum()), None, None
+        return self._package(query, rows[mask])
+
+    def _package(
+        self, query: Query, match_rows: np.ndarray
+    ) -> tuple[int, np.ndarray | None, tuple[np.ndarray, np.ndarray] | None]:
+        """Build the result-mode payload from final matching rows."""
+        store = self._store
+        count = int(match_rows.size)
+        if query.count_only:
+            return count, None, None
+        ids = store.ids[match_rows]
+        if query.mode == "ids":
+            return count, ids, None
+        lo = store.lo[match_rows]
+        hi = store.hi[match_rows]
+        if query.mode == "top_k" and count:
+            volumes = np.prod(hi - lo, axis=1)
+            # Largest volume first, ties broken by ascending id so the
+            # ordering is deterministic across physical layouts.
+            order = np.lexsort((ids, -volumes))[: query.k]
+            ids, lo, hi = ids[order], lo[order], hi[order]
+        return count, ids, (lo, hi)
+
+    def _refine_stacked(
+        self, queries: list[Query], rows_list: list[np.ndarray]
+    ) -> list[tuple[int, np.ndarray | None, tuple | None]]:
+        """Refine per-query candidate lists with one kernel per predicate.
+
+        The batched form of :meth:`_refine`: all candidate rows of all
+        queries sharing a predicate are concatenated and tested in a
+        single vectorized call against per-row window matrices, then
+        split back per query.  Used by the natively batched paths
+        (Grid, SFC) whose candidate gathering is per-query but whose
+        refine cost dominates.
+        """
+        store = self._store
+        payloads: list = [None] * len(queries)
+        groups: dict[str, list[int]] = {}
+        for i, q in enumerate(queries):
+            groups.setdefault(q.predicate, []).append(i)
+        for pred, idxs in groups.items():
+            counts = np.array(
+                [rows_list[i].size for i in idxs], dtype=np.int64
+            )
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            if offsets[-1]:
+                cat = np.concatenate([rows_list[i] for i in idxs])
+                win_lo = np.repeat(
+                    np.stack([queries[i].lo for i in idxs]), counts, axis=0
+                )
+                win_hi = np.repeat(
+                    np.stack([queries[i].hi for i in idxs]), counts, axis=0
+                )
+                mask = predicate_mask(
+                    pred, store.lo[cat], store.hi[cat], win_lo, win_hi
+                )
+                if store.n_dead:
+                    mask &= store.live[cat]
+            else:
+                cat = np.empty(0, dtype=np.int64)
+                mask = np.empty(0, dtype=bool)
+            for j, i in enumerate(idxs):
+                q = queries[i]
+                sub_mask = mask[offsets[j] : offsets[j + 1]]
+                if q.count_only:
+                    payloads[i] = (int(sub_mask.sum()), None, None)
+                else:
+                    sub_rows = cat[offsets[j] : offsets[j + 1]]
+                    payloads[i] = self._package(q, sub_rows[sub_mask])
+        return payloads
+
+    def _wrap_batch(
+        self,
+        queries: list[Query],
+        payloads: list[tuple[int, np.ndarray | None, tuple | None]],
+        per_stats: list[IndexStats],
+        seconds_total: float,
+    ) -> list[QueryResult]:
+        """Assemble batch results, attributing an equal time share each.
+
+        ``per_stats`` carries the work counters the batch path tracked
+        per query (candidates tested, nodes visited); the flow counters
+        (``queries``, ``results_returned``) are filled in here, on both
+        the per-query deltas and the cumulative index stats.
+        """
+        share = seconds_total / max(len(queries), 1)
+        out: list[QueryResult] = []
+        for query, (count, ids, boxes), stats in zip(
+            queries, payloads, per_stats
+        ):
+            returned = int(ids.size) if ids is not None else count
+            stats.queries = 1
+            stats.results_returned = returned
+            self.stats.queries += 1
+            self.stats.results_returned += returned
+            out.append(
+                QueryResult(
+                    query=query,
+                    count=count,
+                    ids=ids,
+                    boxes=boxes,
+                    stats=stats,
+                    seconds=share,
+                )
+            )
+        return out
 
     def _check_epoch(self) -> None:
         """Fail loudly if the store was updated outside this index.
@@ -208,8 +481,19 @@ class SpatialIndex(abc.ABC):
             )
 
     @abc.abstractmethod
-    def _query(self, query: RangeQuery) -> np.ndarray:
-        """Index-specific query implementation."""
+    def _candidates(self, query: Query) -> np.ndarray | None:
+        """The filter step: candidate physical rows for the query window.
+
+        Returns a superset of the live rows intersecting ``query``'s
+        window — dead rows and false positives are fine (the shared
+        refine step removes them), duplicates are not — or ``None``
+        meaning "every physical row" (lets whole-store scans skip the
+        gather).  Incremental indexes may reorganize the store here
+        (cracking, splitting); all reorganization for this query must
+        finish before returning, since the refine step reads the
+        returned row positions afterwards.  Implementations maintain
+        their own ``objects_tested`` / ``nodes_visited`` counters.
+        """
 
     def on_compaction(self, remap: np.ndarray) -> None:
         """Absorb a store compaction: remap or rebuild derived state.

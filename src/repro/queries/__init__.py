@@ -1,6 +1,14 @@
-"""Query model: range windows and the paper's workload generators."""
+"""Query model: first-class query specs, range windows, and workloads."""
 
 from repro.queries.io import load_workload, save_workload
+from repro.queries.query import (
+    PREDICATES,
+    RESULT_MODES,
+    Query,
+    QueryPlan,
+    QueryResult,
+    as_query,
+)
 from repro.queries.range_query import RangeQuery, side_for_volume_fraction
 from repro.queries.workloads import (
     WorkloadOp,
@@ -14,8 +22,14 @@ from repro.queries.workloads import (
 )
 
 __all__ = [
+    "PREDICATES",
+    "Query",
+    "QueryPlan",
+    "QueryResult",
+    "RESULT_MODES",
     "RangeQuery",
     "WorkloadOp",
+    "as_query",
     "clustered_workload",
     "drifting_hotspot_workload",
     "hotspot_workload",

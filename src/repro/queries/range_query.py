@@ -69,11 +69,23 @@ class RangeQuery:
 
         This is the paper's *selectivity* knob: e.g. ``1e-4`` is the
         "10^-2 %" clustered workload and ``1e-3`` the "0.1 %" uniform one.
+        Degenerate windows are first-class point/line queries with volume
+        0, so their fraction is 0.  A degenerate *universe* (e.g. a line
+        dataset embedded in 2-d) is measured over its positive-extent
+        dimensions only; a window spanning a dimension the universe does
+        not is clipped to it by every generator, so the projected ratio
+        remains the meaningful selectivity.
         """
-        uni_vol = universe.volume
-        if uni_vol <= 0:
-            raise QueryError("universe has zero volume")
-        return self.volume / uni_vol
+        uni_sides = np.asarray(universe.sides, dtype=np.float64)
+        if np.all(uni_sides <= 0):
+            # A point universe: any window clipped to it is the whole
+            # universe.
+            return 1.0
+        positive = uni_sides > 0
+        win_sides = self._hi - self._lo
+        return float(
+            np.prod(win_sides[positive]) / np.prod(uni_sides[positive])
+        )
 
 
 def side_for_volume_fraction(universe: Box, fraction: float) -> float:
@@ -81,9 +93,13 @@ def side_for_volume_fraction(universe: Box, fraction: float) -> float:
 
     The paper specifies query sizes as volume fractions ("selectivity");
     workload generators convert them to cubic windows with this helper.
+    ``fraction == 0`` is the degenerate point-query limit and yields side
+    0 — zero-extent windows are legal first-class queries.
     """
-    if fraction <= 0:
-        raise QueryError(f"volume fraction must be positive, got {fraction}")
+    if fraction < 0:
+        raise QueryError(
+            f"volume fraction must be non-negative, got {fraction}"
+        )
     if fraction > 1:
         raise QueryError(f"volume fraction must be <= 1, got {fraction}")
     return float(universe.volume * fraction) ** (1.0 / universe.ndim)

@@ -37,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, QueryError
+from repro.queries.query import Query, QueryResult, as_query
 from repro.queries.range_query import RangeQuery
 from repro.sharding.maintenance import MaintenancePolicy, MaintenanceScheduler
 from repro.sharding.shard import Shard
@@ -50,7 +51,13 @@ class BatchResult:
     Attributes
     ----------
     results:
-        One id array per query, in batch order (merged + deduplicated).
+        One id array per query, in batch order (merged + deduplicated;
+        empty for count-only queries — their payload lives in
+        ``query_results``).
+    query_results:
+        One full :class:`~repro.queries.query.QueryResult` per query,
+        in batch order — counts, boxes, and top-k payloads for
+        non-``ids`` modes.
     seconds:
         Wall-clock for the whole batch (planning + fan-out + merge).
     mode:
@@ -64,6 +71,7 @@ class BatchResult:
     """
 
     results: list[np.ndarray] = field(default_factory=list)
+    query_results: list[QueryResult] = field(default_factory=list)
     seconds: float = 0.0
     mode: str = "sequential"
     workers: int = 1
@@ -126,8 +134,13 @@ class QueryExecutor:
         """The maintenance scheduler (``None`` without a policy)."""
         return self._scheduler
 
-    def run(self, queries: Sequence[RangeQuery]) -> BatchResult:
+    def run(self, queries: Sequence[Query | RangeQuery]) -> BatchResult:
         """Execute a batch; returns per-query merged results plus timing.
+
+        Accepts first-class :class:`~repro.queries.query.Query` specs or
+        legacy :class:`RangeQuery` windows (normalized to
+        intersects/ids).  ``BatchResult.query_results`` carries the full
+        per-query payloads; ``results`` keeps the legacy id-array view.
 
         With a maintenance policy configured, the scheduler is ticked
         once per executed query *after* the batch completes — its
@@ -140,17 +153,29 @@ class QueryExecutor:
             self._scheduler.after_ops(len(queries))
         return out
 
-    def _run_batch(self, queries: Sequence[RangeQuery]) -> BatchResult:
+    @staticmethod
+    def _ids_of(result: QueryResult) -> np.ndarray:
+        """The legacy id-array view of a result (empty for count-only)."""
+        if result.ids is None:
+            return np.empty(0, dtype=np.int64)
+        return result.ids
+
+    def _run_batch(
+        self, queries: Sequence[Query | RangeQuery]
+    ) -> BatchResult:
         index = self._index
         if not index.is_built:
             index.build()
+        queries = [as_query(q) for q in queries]
         t0 = time.perf_counter()
         if self._max_workers <= 1:
-            # Planning happens inside index.query here, so the per-shard
-            # fan-out profile is not re-derived (a second plan pass would
-            # double-count the prune counters); shard_queries stays zeroed.
+            # The engine's native sequential batch: routing happens inside
+            # execute_batch (a second pass here would double-count the
+            # prune counters), so shard_queries stays zeroed.
+            query_results = index.execute_batch(queries)
             out = BatchResult(
-                results=[index.query(q) for q in queries],
+                results=[self._ids_of(r) for r in query_results],
+                query_results=query_results,
                 mode="sequential",
                 workers=1,
                 shard_queries=[0] * index.n_shards,
@@ -159,50 +184,50 @@ class QueryExecutor:
             return out
         return self._run_parallel(queries, t0)
 
-    def _run_parallel(
-        self, queries: Sequence[RangeQuery], t0: float
-    ) -> BatchResult:
+    def _run_parallel(self, queries: list[Query], t0: float) -> BatchResult:
         index = self._index
-        # Plan every query up front on this thread: prune counters and the
-        # epoch check stay single-threaded, and each shard receives its
-        # queue in batch order.
+        # Route every query up front on this thread: prune counters and
+        # the epoch check stay single-threaded, and each shard receives
+        # its queue in batch order.
         index._check_epoch()
-        queues: dict[int, list[tuple[int, RangeQuery]]] = {}
+        queues: dict[int, list[int]] = {}
         for i, q in enumerate(queries):
-            # The same dimension gate index.query() applies — a wrong-d
+            # The same dimension gate index.execute() applies — a wrong-d
             # window must raise here too, not broadcast into a nonsense
             # prune mask.
             if q.ndim != index.store.ndim:
                 raise QueryError(
                     f"query has {q.ndim} dims, store has {index.store.ndim}"
                 )
-            for shard in index.plan(q):
-                queues.setdefault(shard.sid, []).append((i, q))
+            for shard in index.plan_shards(q):
+                queues.setdefault(shard.sid, []).append(i)
 
-        def work(shard: Shard, jobs: list[tuple[int, RangeQuery]]):
-            return [(i, shard.index.query(q)) for i, q in jobs]
+        def work(shard: Shard, idxs: list[int]):
+            # One task per shard per batch: the whole sub-batch goes
+            # through the shard index's native execute_batch, so shard
+            # indexes batch their own candidate matrices / merges.
+            return idxs, shard.index.execute_batch([queries[i] for i in idxs])
 
-        partials: dict[int, list[np.ndarray]] = {}
+        partials: dict[int, list[QueryResult]] = {}
         shard_queries = [0] * index.n_shards
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
             futures = [
-                pool.submit(work, index.shards[sid], jobs)
-                for sid, jobs in queues.items()
+                pool.submit(work, index.shards[sid], idxs)
+                for sid, idxs in queues.items()
             ]
             for future in futures:
-                for i, ids in future.result():
-                    partials.setdefault(i, []).append(ids)
-        for sid, jobs in queues.items():
-            shard_queries[sid] = len(jobs)
-        results = [
-            index._merge(partials.get(i, [])) for i in range(len(queries))
-        ]
-        # Mirror the counter bookkeeping index.query() would have done.
-        index.stats.queries += len(queries)
-        index.stats.results_returned += int(sum(r.size for r in results))
-        index.sync_shard_work()
+                idxs, sub = future.result()
+                for i, res in zip(idxs, sub):
+                    partials.setdefault(i, []).append(res)
+        for sid, idxs in queues.items():
+            shard_queries[sid] = len(idxs)
+        # Merging (and its timing) is shared with the engine's native
+        # sequential batch: counters, equal-share seconds, and the
+        # post-merge wall-clock capture all live in _assemble_batch.
+        query_results = index._assemble_batch(queries, partials, t0)
         return BatchResult(
-            results=results,
+            results=[self._ids_of(r) for r in query_results],
+            query_results=query_results,
             seconds=time.perf_counter() - t0,
             mode="parallel",
             workers=self._max_workers,

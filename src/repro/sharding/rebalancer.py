@@ -50,6 +50,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.geometry.box import Box
 from repro.index.base import IndexStats
+from repro.queries.query import Query
 from repro.queries.range_query import RangeQuery
 from repro.sharding.shard import Shard
 
@@ -134,7 +135,7 @@ class WorkloadProfile:
         """Queries recorded since the last :meth:`rebaseline`."""
         return self._queries_seen
 
-    def record(self, query: RangeQuery) -> None:
+    def record(self, query: Query | RangeQuery) -> None:
         """Append one planned query's window (called by the engine)."""
         self._windows.append((query.lo, query.hi))
         self._queries_seen += 1
@@ -471,11 +472,17 @@ class Rebalancer:
             return
         for sid in sids:
             shard = engine.shards[sid]
-            for lo, hi in windows:
-                if np.all(lo <= shard.mbb_hi) and np.all(shard.mbb_lo <= hi):
-                    shard.index.query(
-                        RangeQuery(Box(tuple(lo), tuple(hi)), seq=0)
-                    )
+            # Count-only replays through the first-class API: cracking
+            # (the whole point of the warm-up) happens identically for
+            # every result mode, and count mode skips materializing ids
+            # nobody reads.
+            replay = [
+                Query(Box(tuple(lo), tuple(hi)), mode="count")
+                for lo, hi in windows
+                if np.all(lo <= shard.mbb_hi) and np.all(shard.mbb_lo <= hi)
+            ]
+            if replay:
+                shard.index.execute_batch(replay)
 
     def _split_cut(
         self,

@@ -50,6 +50,7 @@ both rebalancing and compaction on the query path.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.datasets.store import BoxStore
 from repro.errors import ConfigurationError, DatasetError
 from repro.geometry.predicates import boxes_intersect_window
 from repro.index.base import MutableSpatialIndex, SpatialIndex
+from repro.queries.query import Query, QueryPlan, QueryResult
 from repro.queries.range_query import RangeQuery
 from repro.sharding.partitioner import Partitioner, make_partitioner
 from repro.sharding.rebalancer import WorkloadProfile
@@ -265,14 +267,16 @@ class ShardedIndex(MutableSpatialIndex):
             self._stack_hi = np.stack([s.mbb_hi for s in self._shards])
         return self._stack_lo, self._stack_hi
 
-    def plan(self, query: RangeQuery) -> list[Shard]:
+    def plan_shards(self, query: Query | RangeQuery) -> list[Shard]:
         """Shards whose MBB intersects the window, updating prune counters.
 
-        One vectorized intersection test over the stacked shard MBBs.
+        The *routing* half of planning (the cost-estimating half is the
+        inherited :meth:`~repro.index.base.SpatialIndex.plan`).  One
+        vectorized intersection test over the stacked shard MBBs.
         The :class:`~repro.sharding.executor.QueryExecutor` calls this on
         the coordinating thread so counter updates never race; shard-local
         work then proceeds in parallel.  Each planned window's centroid
-        is also recorded in :attr:`profile` — planning is the one spot
+        is also recorded in :attr:`profile` — routing is the one spot
         both the sequential and the parallel path go through exactly
         once per query, so the observed-traffic record stays exact.
         """
@@ -285,17 +289,126 @@ class ShardedIndex(MutableSpatialIndex):
         self.stats.shards_pruned += self._n_shards - int(hits.size)
         return [self._shards[i] for i in hits]
 
-    def _query(self, query: RangeQuery) -> np.ndarray:
+    def _candidates(self, query: Query) -> np.ndarray:
+        raise ConfigurationError(
+            "ShardedIndex fans queries out to shards; it has no flat "
+            "candidate set"
+        )  # pragma: no cover - _execute is overridden, this is unreachable
+
+    def _execute(
+        self, query: Query
+    ) -> tuple[int, np.ndarray | None, tuple[np.ndarray, np.ndarray] | None]:
         if not self._built:
             raise ConfigurationError(
                 "ShardedIndex queried before build(); call build() first"
             )
         parts = [
-            shard.index.query(query) for shard in self.plan(query)
+            shard.index.execute(query) for shard in self.plan_shards(query)
         ]
-        result = self._merge(parts)
+        payload = self._merge_payload(query, parts)
         self.sync_shard_work()
-        return result
+        return payload
+
+    def _execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        """Fan out whole per-shard sub-batches, then merge per query.
+
+        Every query is routed once on this thread (prune counters and
+        the traffic profile stay exact), then each shard answers its
+        portion of the batch through its index's *native*
+        ``execute_batch`` — one sub-batch per shard instead of one call
+        per (query, shard) pair, so vectorized shard indexes batch
+        their candidate matrices and QUASII shards amortize their
+        merges.  The thread-pooled version of the same shape lives in
+        :class:`~repro.sharding.executor.QueryExecutor`.
+        """
+        if not self._built:
+            raise ConfigurationError(
+                "ShardedIndex queried before build(); call build() first"
+            )
+        t0 = time.perf_counter()
+        queues: dict[int, list[int]] = {}
+        for i, q in enumerate(queries):
+            for shard in self.plan_shards(q):
+                queues.setdefault(shard.sid, []).append(i)
+        partials: dict[int, list[QueryResult]] = {}
+        for sid, idxs in queues.items():
+            sub = self._shards[sid].index.execute_batch(
+                [queries[i] for i in idxs]
+            )
+            for i, res in zip(idxs, sub):
+                partials.setdefault(i, []).append(res)
+        return self._assemble_batch(queries, partials, t0)
+
+    def _assemble_batch(
+        self,
+        queries: list[Query],
+        partials: dict[int, list[QueryResult]],
+        t0: float,
+    ) -> list[QueryResult]:
+        """Merge per-shard results into engine-level batch results.
+
+        Shared by the sequential native batch above and the executor's
+        thread-pooled fan-out.  The merge work itself is part of the
+        batch, so wall-clock is captured *after* merging and the
+        equal-share per-query seconds are stamped in a second pass.
+        Per-query index-stat deltas cannot be attributed to a single
+        query across a fleet batch, so ``stats`` stays ``None`` here;
+        fleet work lands in the engine's cumulative stats through
+        :meth:`sync_shard_work`.
+        """
+        payloads = [
+            self._merge_payload(q, partials.get(i, []))
+            for i, q in enumerate(queries)
+        ]
+        share = (time.perf_counter() - t0) / max(len(queries), 1)
+        out: list[QueryResult] = []
+        for q, (count, ids, boxes) in zip(queries, payloads):
+            returned = int(ids.size) if ids is not None else count
+            self.stats.queries += 1
+            self.stats.results_returned += returned
+            out.append(
+                QueryResult(
+                    query=q,
+                    count=count,
+                    ids=ids,
+                    boxes=boxes,
+                    stats=None,
+                    seconds=share,
+                )
+            )
+        self.sync_shard_work()
+        return out
+
+    def _plan(self, query: Query) -> QueryPlan:
+        """Aggregate the sub-plans of every shard the query would touch.
+
+        Pure estimation: no prune counters, no profile recording — the
+        side-effecting routing lives in :meth:`plan_shards`.
+        """
+        if not self._built:
+            raise ConfigurationError(
+                "ShardedIndex planned before build(); call build() first"
+            )
+        stack_lo, stack_hi = self._mbb_stacks()
+        hits = np.flatnonzero(
+            boxes_intersect_window(stack_lo, stack_hi, query.lo, query.hi)
+        )
+        nodes = 0
+        candidates = 0
+        exact = True
+        for i in hits:
+            sub = self._shards[i].index.plan(query)
+            nodes += sub.nodes
+            candidates += sub.candidates
+            exact = exact and sub.exact
+        return QueryPlan(
+            index=self.name,
+            query=query,
+            nodes=nodes,
+            candidates=candidates,
+            shards=int(hits.size),
+            exact=exact,
+        )
 
     @staticmethod
     def _merge(parts: Sequence[np.ndarray]) -> np.ndarray:
@@ -310,6 +423,35 @@ class ShardedIndex(MutableSpatialIndex):
         if len(parts) == 1:
             return parts[0]
         return np.unique(np.concatenate(parts))
+
+    def _merge_payload(
+        self, query: Query, parts: Sequence[QueryResult]
+    ) -> tuple[int, np.ndarray | None, tuple[np.ndarray, np.ndarray] | None]:
+        """Combine per-shard :class:`QueryResult`\\ s into one payload.
+
+        Ownership is exclusive, so shard result sets are disjoint:
+        counts add, id sets merge through the dedup-checking
+        :meth:`_merge`, boxes concatenate, and top-k re-ranks the
+        per-shard top-k unions (each shard already kept its ``k``
+        largest, so the global top-k is within the union).
+        """
+        count = int(sum(r.count for r in parts))
+        if query.count_only:
+            return count, None, None
+        if query.mode == "ids":
+            return count, self._merge([r.ids for r in parts]), None
+        with_rows = [r for r in parts if r.ids is not None and r.ids.size]
+        if not with_rows:
+            empty = np.empty((0, self._store.ndim), dtype=np.float64)
+            return count, np.empty(0, dtype=np.int64), (empty, empty.copy())
+        ids = np.concatenate([r.ids for r in with_rows])
+        lo = np.concatenate([r.boxes[0] for r in with_rows])
+        hi = np.concatenate([r.boxes[1] for r in with_rows])
+        if query.mode == "top_k":
+            volumes = np.prod(hi - lo, axis=1)
+            order = np.lexsort((ids, -volumes))[: query.k]
+            return count, ids[order], (lo[order], hi[order])
+        return count, ids, (lo, hi)
 
     # ------------------------------------------------------------------
     # Updates: shard-aware routing

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.index.base import MutableSpatialIndex
+from repro.queries.query import as_query
 from repro.queries.workloads import WorkloadOp
 
 if TYPE_CHECKING:  # pragma: no cover - layering: sharding sits above updates
@@ -167,10 +168,10 @@ def run_mixed_workload(
     for op in ops:
         if op.kind == "query":
             t0 = time.perf_counter()
-            hits = index.query(op.query)
+            res = index.execute(as_query(op.query))
             elapsed = time.perf_counter() - t0
-            result.query_results.append(np.sort(hits))
-            result.timings.append(OpTiming(op.seq, "query", elapsed, int(hits.size)))
+            result.query_results.append(np.sort(res.ids))
+            result.timings.append(OpTiming(op.seq, "query", elapsed, res.count))
         elif op.kind == "insert":
             t0 = time.perf_counter()
             assigned = index.insert(op.lo, op.hi)

@@ -34,10 +34,21 @@ class TestRangeQuery:
         q = RangeQuery(Box((0.0, 0.0), (1.0, 1.0)))
         assert q.volume_fraction(universe) == pytest.approx(0.01)
 
-    def test_volume_fraction_zero_universe(self):
+    def test_volume_fraction_degenerate_window_is_zero(self):
+        universe = Box((0.0, 0.0), (10.0, 10.0))
+        point = RangeQuery(Box((3.0, 4.0), (3.0, 4.0)))
+        assert point.volume_fraction(universe) == 0.0
+        line = RangeQuery(Box((0.0, 0.0), (5.0, 0.0)))
+        assert line.volume_fraction(universe) == 0.0
+
+    def test_volume_fraction_degenerate_universe_projects(self):
+        # A line universe embedded in 2-d: the ratio is measured over the
+        # universe's positive-extent dimensions only.
         degenerate = Box((0.0, 0.0), (0.0, 10.0))
-        with pytest.raises(QueryError):
-            RangeQuery(Box.unit(2)).volume_fraction(degenerate)
+        q = RangeQuery(Box.unit(2))
+        assert q.volume_fraction(degenerate) == pytest.approx(0.1)
+        # A point universe: every clipped window covers all of it.
+        assert q.volume_fraction(Box((0.0, 0.0), (0.0, 0.0))) == 1.0
 
 
 class TestSideForVolumeFraction:
@@ -50,10 +61,13 @@ class TestSideForVolumeFraction:
         universe = Box((0.0,) * 2, (50.0,) * 2)
         assert side_for_volume_fraction(universe, 1.0) == pytest.approx(50.0)
 
-    def test_rejects_nonpositive_and_over_one(self):
+    def test_zero_fraction_is_point_query(self):
+        assert side_for_volume_fraction(Box.unit(3), 0.0) == 0.0
+
+    def test_rejects_negative_and_over_one(self):
         universe = Box.unit(3)
         with pytest.raises(QueryError):
-            side_for_volume_fraction(universe, 0.0)
+            side_for_volume_fraction(universe, -0.1)
         with pytest.raises(QueryError):
             side_for_volume_fraction(universe, 1.5)
 
