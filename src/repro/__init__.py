@@ -67,6 +67,13 @@ from repro.sharding import (
     ShardedIndex,
     WorkloadProfile,
 )
+from repro.telemetry import (
+    LatencyHistogram,
+    MetricsRegistry,
+    Telemetry,
+    TimeSeriesRecorder,
+    Tracer,
+)
 from repro.updates import (
     MixedRunResult,
     UpdateBuffer,
@@ -85,8 +92,10 @@ __all__ = [
     "BoxStore",
     "Dataset",
     "IndexStats",
+    "LatencyHistogram",
     "MaintenancePolicy",
     "MaintenanceScheduler",
+    "MetricsRegistry",
     "MixedRunResult",
     "MosaicIndex",
     "MutableSpatialIndex",
@@ -108,6 +117,9 @@ __all__ = [
     "ScanIndex",
     "ShardedIndex",
     "SpatialIndex",
+    "Telemetry",
+    "TimeSeriesRecorder",
+    "Tracer",
     "UniformGridIndex",
     "UpdateBuffer",
     "UpdateLedger",

@@ -8,10 +8,20 @@ from repro.bench.metrics import (
     data_to_insight_factor,
     speedup_tail,
 )
-from repro.bench.reporting import ExperimentReport
+from repro.bench.reporting import (
+    BENCH_SCHEMA,
+    ExperimentReport,
+    load_bench_files,
+    render_trajectory,
+    to_json_dict,
+    validate_bench_json,
+    write_bench_json,
+)
 from repro.bench.runner import QueryTiming, RunResult, run_workload
+from repro.bench.soak import soak_experiment
 
 __all__ = [
+    "BENCH_SCHEMA",
     "EXPERIMENTS",
     "ExperimentReport",
     "QueryTiming",
@@ -22,7 +32,13 @@ __all__ = [
     "converged_slowdown",
     "cumulative_ratio",
     "data_to_insight_factor",
+    "load_bench_files",
+    "render_trajectory",
     "run_experiment",
     "run_workload",
+    "soak_experiment",
     "speedup_tail",
+    "to_json_dict",
+    "validate_bench_json",
+    "write_bench_json",
 ]

@@ -1,4 +1,5 @@
-"""Command-line entry point: ``quasii-bench`` / ``python -m repro.bench``.
+"""Command-line entry point: ``quasii-bench`` / ``repro-bench`` /
+``python -m repro.bench``.
 
 Examples::
 
@@ -9,10 +10,16 @@ Examples::
     quasii-bench mixed-workload           # update subsystem, incl. sharded
     quasii-bench compaction               # reclaim tombstoned rows: before/after
     quasii-bench rebalance                # shard rebalancing vs static STR
+    quasii-bench soak --smoke             # latency-over-time serving soak
+    quasii-bench report                   # trajectory from saved BENCH_*.json
     quasii-bench all --scale small        # every figure at default scale
 
-Every experiment id, its tables, and the meaning of each reported
-metric are documented in docs/BENCH.md.
+Every run persists its result as ``BENCH_<verb>.json`` (schema
+``repro-bench/1``; see docs/OBSERVABILITY.md) into ``--json-out``,
+which defaults to the repository root — so each bench invocation leaves
+a perf-trajectory data point the ``report`` verb (and the next reader)
+can pick up.  Experiment ids, their tables, and the meaning of each
+reported metric are documented in docs/BENCH.md.
 """
 
 from __future__ import annotations
@@ -20,8 +27,34 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS, SCALES, run_experiment
+from repro.bench.reporting import (
+    load_bench_files,
+    render_trajectory,
+    validate_bench_json,
+    write_bench_json,
+)
+
+#: CLI verbs that are not experiments (check_docs allows these in the
+#: BENCH.md verb table alongside EXPERIMENTS and SCALES).
+EXTRA_VERBS: dict[str, str] = {
+    "report": "render a perf-trajectory summary from saved BENCH_*.json files",
+}
+
+
+def default_json_dir() -> Path:
+    """The repository root (nearest ancestor with a pyproject.toml).
+
+    Falls back to the current directory when run outside a checkout
+    (e.g. from an installed wheel).
+    """
+    here = Path.cwd().resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="+",
         help=(
-            "experiment ids ('all' for everything): "
+            "experiment ids ('all' for everything, 'report' for a "
+            "trajectory summary of saved results): "
             + ", ".join(sorted(EXPERIMENTS))
         ),
     )
@@ -47,34 +81,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload size preset (default: small)",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shorthand for --scale smoke",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="also append the rendered reports to this file",
     )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for persisted BENCH_<verb>.json results "
+            "(default: the repository root)"
+        ),
+    )
     return parser
+
+
+def run_report_verb(json_dir: Path) -> int:
+    """Validate and summarize every ``BENCH_*.json`` in ``json_dir``.
+
+    Prints the trajectory summary; returns 1 when any file fails schema
+    validation (CI uses this as the gate), 0 otherwise.
+    """
+    loaded = load_bench_files(json_dir)
+    invalid = 0
+    docs = []
+    for path, doc in loaded:
+        problems = (
+            [doc] if isinstance(doc, str) else validate_bench_json(doc)
+        )
+        if problems:
+            invalid += 1
+            for problem in problems:
+                print(f"{path.name}: {problem}", file=sys.stderr)
+        else:
+            docs.append(doc)
+    print(render_trajectory(docs))
+    if invalid:
+        print(
+            f"report: {invalid} of {len(loaded)} result file(s) failed "
+            "schema validation",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[report over {len(docs)} result file(s) in {json_dir}]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    scale = "smoke" if args.smoke else args.scale
+    requested = list(args.experiments)
+    want_report = "report" in requested
+    requested = [n for n in requested if n != "report"]
+    names = list(EXPERIMENTS) if "all" in requested else requested
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        print(
+            "available: "
+            + ", ".join(sorted([*EXPERIMENTS, *EXTRA_VERBS])),
+            file=sys.stderr,
+        )
         return 2
+    json_dir = (
+        Path(args.json_out) if args.json_out else default_json_dir()
+    )
+    json_dir.mkdir(parents=True, exist_ok=True)
     chunks: list[str] = []
     for name in names:
         t0 = time.perf_counter()
-        report = run_experiment(name, args.scale)
+        report = run_experiment(name, scale)
         elapsed = time.perf_counter() - t0
         text = report.render()
         chunks.append(text)
         print(text)
-        print(f"[{name} completed in {elapsed:.1f}s at scale '{args.scale}']\n")
+        json_path = write_bench_json(report, json_dir, scale, elapsed)
+        print(
+            f"[{name} completed in {elapsed:.1f}s at scale '{scale}' "
+            f"-> {json_path}]\n"
+        )
     if args.output:
         with open(args.output, "a", encoding="utf-8") as fh:
             fh.write("\n".join(chunks))
             fh.write("\n")
+    if want_report:
+        return run_report_verb(json_dir)
     return 0
 
 

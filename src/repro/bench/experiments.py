@@ -42,6 +42,7 @@ from repro.bench.metrics import (
 )
 from repro.bench.reporting import ExperimentReport
 from repro.bench.runner import RunResult, run_workload
+from repro.bench.soak import soak_experiment
 from repro.core import QuasiiIndex
 from repro.datasets import Dataset, make_neuro_like, make_uniform
 from repro.errors import ConfigurationError
@@ -102,6 +103,16 @@ class Scale:
     rebalance_phases: int = 3           # hot-region random-walk steps
     rebalance_insert_every: int = 2     # every Nth op is an insert batch
     rebalance_insert_batch: int = 256   # boxes per insert batch
+    # Soak benchmark (steady-state serving trajectory; beyond the paper).
+    # Time-bounded rather than op-bounded: the op stream cycles until
+    # soak_seconds elapse, with windowed telemetry every soak_window.
+    soak_seconds: float = 40.0          # total serving time
+    soak_window: float = 4.0            # telemetry window width
+    soak_ops: int = 1200                # generated op-cycle length
+    soak_insert_every: int = 3          # every Nth op inserts a batch
+    soak_insert_batch: int = 64         # boxes per ingestion burst
+    soak_delete_every: int = 25         # ops between delete storms
+    soak_delete_batch: int = 2000       # rows tombstoned per storm
     seed: int = 7
 
 
@@ -131,6 +142,10 @@ SCALES: dict[str, Scale] = {
         shard_queries=200,
         rebalance_n=60_000,
         rebalance_ops=360,
+        soak_seconds=4.0,
+        soak_window=0.4,
+        soak_ops=600,
+        soak_delete_batch=400,
     ),
     # Default: large enough that build-vs-query cost ratios have the
     # paper's sign (see EXPERIMENTS.md for the calibration discussion).
@@ -156,6 +171,8 @@ SCALES: dict[str, Scale] = {
         grid_candidates=(16, 32, 64, 128, 256),
         grid_uniform_parts=64,
         grid_neuro_parts=128,
+        soak_seconds=120.0,
+        soak_window=10.0,
     ),
 }
 
@@ -1875,6 +1892,11 @@ EXPERIMENTS: dict[str, tuple[Callable[[Scale], ExperimentReport], str]] = {
     "rebalance": (
         rebalance_experiment,
         "query-driven shard rebalancing under a drifting hotspot",
+    ),
+    "soak": (
+        soak_experiment,
+        "steady-state soak: windowed latency histograms with "
+        "maintenance-pause span attribution",
     ),
     "headline": (headline, "paper headline numbers"),
     "ablation-rep": (ablation_representative, "representative coordinate ablation"),

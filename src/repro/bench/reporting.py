@@ -1,14 +1,33 @@
-"""Plain-text report rendering for experiments.
+"""Report rendering and persistence for experiments.
 
 Every experiment produces an :class:`ExperimentReport`: a set of titled
 tables (the "rows/series the paper reports") plus free-form notes that
-state the expected shape from the paper next to the measured outcome.
+state the expected shape from the paper next to the measured outcome,
+and an optional machine-readable ``metrics`` payload (time-series
+windows, span attributions) for experiments that produce more than
+tables.
+
+Reports render to plain text for humans *and* persist to
+``BENCH_<verb>.json`` files under a shared schema
+(:data:`BENCH_SCHEMA`, documented in docs/OBSERVABILITY.md), so every
+bench run leaves a perf-trajectory data point behind instead of
+vanishing into a CI log.  :func:`validate_bench_json` is the single
+gatekeeper — the CLI's ``report`` verb and CI both use it.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
+
+#: Schema identifier stamped into every persisted bench result.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Filename pattern for persisted results (``verb`` is the experiment id).
+BENCH_FILENAME = "BENCH_{verb}.json"
 
 
 @dataclass
@@ -28,6 +47,10 @@ class ExperimentReport:
     description: str
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Machine-readable payload persisted verbatim into the JSON result
+    #: (must be JSON-serializable).  The soak experiment puts its
+    #: windowed histograms and span attributions here.
+    metrics: dict = field(default_factory=dict)
 
     def add_table(
         self, title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
@@ -90,3 +113,196 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     body = [line(headers), sep]
     body.extend(line(r) for r in rows)
     return "\n".join(body)
+
+
+# ---------------------------------------------------------------------------
+# Persistence: BENCH_<verb>.json under the repro-bench/1 schema
+# ---------------------------------------------------------------------------
+
+def to_json_dict(
+    report: ExperimentReport, scale: str, elapsed_seconds: float
+) -> dict:
+    """The ``repro-bench/1`` document for one experiment run."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "verb": report.experiment,
+        "scale": scale,
+        "created_unix": time.time(),
+        "elapsed_seconds": float(elapsed_seconds),
+        "description": report.description,
+        "tables": [
+            {"title": t.title, "headers": list(t.headers), "rows": [list(r) for r in t.rows]}
+            for t in report.tables
+        ],
+        "notes": list(report.notes),
+        "metrics": report.metrics,
+    }
+
+
+def write_bench_json(
+    report: ExperimentReport,
+    directory: str | Path,
+    scale: str,
+    elapsed_seconds: float,
+) -> Path:
+    """Persist one run as ``<directory>/BENCH_<verb>.json`` (overwrite).
+
+    The document is validated before writing — a bench verb that would
+    persist a malformed trajectory point fails at the source, not in CI.
+    """
+    doc = to_json_dict(report, scale, elapsed_seconds)
+    problems = validate_bench_json(doc)
+    if problems:
+        raise ValueError(
+            f"refusing to persist invalid bench result: {'; '.join(problems)}"
+        )
+    path = Path(directory) / BENCH_FILENAME.format(verb=report.experiment)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def validate_bench_json(doc: object) -> list[str]:
+    """Check a document against the ``repro-bench/1`` schema.
+
+    Returns a list of human-readable problems (empty = valid).  Soak
+    results get extra scrutiny: a trajectory point without time windows
+    or span attributions is useless to the next reader, so the schema
+    requires at least 3 windowed snapshots and a span list.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    for key, kind in (
+        ("verb", str),
+        ("scale", str),
+        ("description", str),
+        ("created_unix", (int, float)),
+        ("elapsed_seconds", (int, float)),
+        ("tables", list),
+        ("notes", list),
+        ("metrics", dict),
+    ):
+        if not isinstance(doc.get(key), kind):
+            problems.append(f"field {key!r} missing or not {kind}")
+    if problems:
+        return problems
+    if not doc["verb"]:
+        problems.append("field 'verb' is empty")
+    if doc["elapsed_seconds"] < 0:
+        problems.append("field 'elapsed_seconds' is negative")
+    for i, table in enumerate(doc["tables"]):
+        where = f"tables[{i}]"
+        if not isinstance(table, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        headers = table.get("headers")
+        if not isinstance(table.get("title"), str):
+            problems.append(f"{where}.title missing or not a string")
+        if not isinstance(headers, list) or not headers:
+            problems.append(f"{where}.headers missing or empty")
+            continue
+        rows = table.get("rows")
+        if not isinstance(rows, list):
+            problems.append(f"{where}.rows missing or not a list")
+            continue
+        for j, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(headers):
+                problems.append(
+                    f"{where}.rows[{j}] does not match the header width"
+                )
+    if not all(isinstance(n, str) for n in doc["notes"]):
+        problems.append("field 'notes' must contain only strings")
+    if doc["verb"] == "soak":
+        windows = doc["metrics"].get("windows")
+        if not isinstance(windows, list) or len(windows) < 3:
+            problems.append(
+                "soak metrics must contain >= 3 time-windowed snapshots"
+            )
+        else:
+            for i, w in enumerate(windows):
+                if not isinstance(w, dict) or not {
+                    "start", "end", "histograms", "counters"
+                } <= set(w):
+                    problems.append(f"metrics.windows[{i}] is malformed")
+        if not isinstance(doc["metrics"].get("spans"), list):
+            problems.append("soak metrics must contain a 'spans' list")
+    return problems
+
+
+def load_bench_files(directory: str | Path) -> list[tuple[Path, object]]:
+    """All ``BENCH_*.json`` files in ``directory`` with parsed contents.
+
+    Unparseable files are returned with the raw decode error string in
+    place of a document so the caller can report them as invalid rather
+    than crash.
+    """
+    out: list[tuple[Path, object]] = []
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            out.append((path, json.loads(path.read_text(encoding="utf-8"))))
+        except (OSError, json.JSONDecodeError) as exc:
+            out.append((path, f"unreadable: {exc}"))
+    return out
+
+
+def render_trajectory(docs: Sequence[dict]) -> str:
+    """Summarize persisted bench results (the ``report`` verb's output).
+
+    One row per result: verb, scale, age, runtime, headline size —
+    enough to see at a glance which trajectory points exist and when
+    they were taken.  Soak results additionally surface their worst-
+    window p99 and slowest maintenance span.
+    """
+    now = time.time()
+    rows: list[list[str]] = []
+    soak_notes: list[str] = []
+    for doc in sorted(docs, key=lambda d: d.get("created_unix", 0.0)):
+        age_h = (now - doc["created_unix"]) / 3600.0
+        rows.append(
+            [
+                doc["verb"],
+                doc["scale"],
+                f"{age_h:.1f}h ago",
+                f"{doc['elapsed_seconds']:.1f}s",
+                str(len(doc["tables"])),
+                str(len(doc["metrics"].get("windows", []))),
+            ]
+        )
+        if doc["verb"] == "soak":
+            windows = doc["metrics"].get("windows", [])
+            p99s = [
+                w["histograms"]["query.seconds"]["p99"]
+                for w in windows
+                if w.get("histograms", {}).get("query.seconds", {}).get("count")
+            ]
+            if p99s:
+                soak_notes.append(
+                    f"soak ({doc['scale']}): query p99 per window "
+                    f"{min(p99s) * 1e3:.2f}..{max(p99s) * 1e3:.2f} ms "
+                    f"across {len(windows)} windows"
+                )
+            spans = doc["metrics"].get("spans", [])
+            if spans:
+                worst = max(spans, key=lambda s: s.get("seconds", 0.0))
+                soak_notes.append(
+                    f"soak ({doc['scale']}): slowest maintenance span "
+                    f"{worst['name']} at {worst['seconds'] * 1e3:.2f} ms "
+                    f"in window {worst.get('window', '?')}"
+                )
+    report = ExperimentReport(
+        "report", "perf trajectory from persisted BENCH_*.json results"
+    )
+    report.add_table(
+        "trajectory",
+        ["verb", "scale", "age", "runtime", "tables", "windows"],
+        rows,
+    )
+    for note in soak_notes:
+        report.add_note(note)
+    if not rows:
+        report.add_note("no BENCH_*.json files found — run some bench verbs first")
+    return report.render()

@@ -1,0 +1,346 @@
+"""Steady-state soak benchmark: latency histograms over time.
+
+Every other experiment reports one aggregate per configuration; a
+serving engine's real behavior is a *trajectory* — p99 is fine until a
+compaction pass stalls the loop for 40 ms, and an aggregate over the
+whole run averages the stall away.  The soak drives a time-bounded
+mixed workload (drifting 90/10 hotspot traffic, skewed ingestion
+bursts, periodic delete storms) through the full serving stack — a
+:class:`~repro.sharding.QueryExecutor` over a
+:class:`~repro.sharding.ShardedIndex` with maintenance enabled — with
+telemetry on, and reports per-window latency histograms next to the
+maintenance spans that ran inside each window.  A maintenance pause is
+then *visible* (a p99 spike in one window) and *attributable* (the
+``maintenance.compact``/``maintenance.rebalance`` span in the same
+window, with its duration and the rows it touched).
+
+The op stream is generated once and cycled — the workload *shape* is
+deterministic under ``scale.seed``; only how far the loop gets within
+``scale.soak_seconds`` depends on the machine.  Delete victims resolve
+deterministically from the executed-op counter via
+:func:`~repro.updates.executor.resolve_delete_victims`, exactly like
+the mixed-workload runner.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.bench.reporting import ExperimentReport
+from repro.datasets.generators import make_uniform
+from repro.queries.query import as_query
+from repro.queries.workloads import WorkloadOp, drifting_hotspot_workload
+from repro.sharding.executor import QueryExecutor
+from repro.sharding.maintenance import MaintenancePolicy
+from repro.sharding.sharded_index import ShardedIndex
+from repro.telemetry import Telemetry, TimeSeriesRecorder
+from repro.telemetry.naming import (
+    DELETE_SECONDS,
+    INSERT_SECONDS,
+    OPS,
+    QUERY_SECONDS,
+    SHARDS_BALANCE,
+    STORE_DEAD_FRACTION,
+    STORE_LIVE,
+    record_stats_delta,
+    stats_metric,
+)
+from repro.updates.executor import resolve_delete_victims
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.bench.experiments import Scale
+
+#: Queries accumulate into executor mini-batches of this size; a write
+#: op flushes the pending batch first, preserving op order.
+QUERY_BATCH = 16
+
+
+def _soak_ops(universe, scale: "Scale") -> list[WorkloadOp]:
+    """One cycle of the soak op stream (queries + inserts + deletes).
+
+    Drifting-hotspot traffic with skewed ingestion, then a delete storm
+    spliced in every ``soak_delete_every`` operations — the engine must
+    crack, absorb, reclaim, and rebalance all at once.
+    """
+    base = drifting_hotspot_workload(
+        universe,
+        n_ops=scale.soak_ops,
+        phases=scale.rebalance_phases,
+        volume_fraction=scale.shard_fraction,
+        insert_every=scale.soak_insert_every,
+        insert_batch=scale.soak_insert_batch,
+        seed=scale.seed + 23,
+    )
+    ops: list[WorkloadOp] = []
+    for i, op in enumerate(base):
+        if i and i % scale.soak_delete_every == 0:
+            ops.append(
+                WorkloadOp(
+                    kind="delete", seq=len(ops), count=scale.soak_delete_batch
+                )
+            )
+        ops.append(op)
+    return ops
+
+
+def soak_experiment(scale: "Scale") -> ExperimentReport:
+    """Run the soak for ``scale.soak_seconds``; report the trajectory."""
+    report = ExperimentReport(
+        "soak",
+        "Steady-state serving soak: windowed latency histograms with "
+        "maintenance-pause span attribution (drifting hotspot + "
+        "ingestion bursts + delete storms, maintenance on)",
+    )
+    ds = make_uniform(
+        min(scale.rebalance_n, scale.uniform_n), seed=scale.seed
+    )
+    engine = ShardedIndex(
+        ds.store.copy(), n_shards=max(scale.shard_counts), partitioner="str"
+    )
+    engine.build()
+    telemetry = Telemetry()
+    policy = MaintenancePolicy(
+        check_every=16,
+        dead_fraction=0.15,
+        max_balance=1.2,
+        max_query_skew=2.5,
+        min_queries=16,
+    )
+    executor = QueryExecutor(
+        engine, max_workers=2, maintenance=policy, telemetry=telemetry
+    )
+    scheduler = executor.scheduler
+    assert scheduler is not None
+    recorder = TimeSeriesRecorder(telemetry.registry, window=scale.soak_window)
+    registry = telemetry.registry
+    ops_counter = registry.counter(OPS)
+    insert_hist = registry.histogram(INSERT_SECONDS)
+    delete_hist = registry.histogram(DELETE_SECONDS)
+    live_gauge = registry.gauge(STORE_LIVE)
+    dead_gauge = registry.gauge(STORE_DEAD_FRACTION)
+    balance_gauge = registry.gauge(SHARDS_BALANCE)
+
+    ops = _soak_ops(ds.universe, scale)
+    state = {"live": engine.store.ids[engine.store.live_rows()].copy()}
+    pending: list = []
+
+    def flush_queries() -> None:
+        if pending:
+            executor.run(pending)
+            pending.clear()
+
+    def write_tick(op: WorkloadOp, seq: int) -> None:
+        # Writes tick the same scheduler the executor ticks for queries,
+        # inside a stats bracket, so maintenance triggered by a delete
+        # storm is attributed to the op that caused it.
+        before = engine.stats.snapshot()
+        t0 = time.perf_counter()
+        if op.kind == "insert":
+            assigned = engine.insert(op.lo, op.hi)
+            insert_hist.record(time.perf_counter() - t0)
+            state["live"] = np.concatenate([state["live"], assigned])
+        else:
+            victims = resolve_delete_victims(
+                state["live"], op.count, seq, scale.seed
+            )
+            if victims.size:
+                engine.delete(victims)
+                state["live"] = state["live"][
+                    ~np.isin(state["live"], victims)
+                ]
+            delete_hist.record(time.perf_counter() - t0)
+        scheduler.after_ops(1)
+        record_stats_delta(registry, engine.stats.delta_since(before))
+
+    start = time.perf_counter()
+    deadline = start + scale.soak_seconds
+    recorder.tick(start)
+    executed = 0
+    i = 0
+    now = start
+    while now < deadline:
+        op = ops[i % len(ops)]
+        i += 1
+        if op.kind == "query":
+            pending.append(as_query(op.query))
+            if len(pending) >= QUERY_BATCH:
+                flush_queries()
+        else:
+            flush_queries()
+            write_tick(op, executed)
+        executed += 1
+        ops_counter.inc()
+        store = engine.store
+        live_gauge.set(store.live_count)
+        dead_gauge.set(store.n_dead / store.n if store.n else 0.0)
+        balance_gauge.set(engine.balance_factor())
+        now = time.perf_counter()
+        recorder.tick(now)
+    flush_queries()
+    now = time.perf_counter()
+    recorder.flush(now)
+    elapsed = now - start
+
+    # -- span attribution: which window did each maintenance pass land in
+    def window_of(t: float) -> int:
+        return min(
+            int((t - start) / scale.soak_window),
+            max(len(recorder.windows) - 1, 0),
+        )
+
+    def plain(value):
+        # Span attrs may carry numpy scalars; JSON needs builtins.
+        if isinstance(value, (bool, str)):
+            return value
+        if isinstance(value, float):
+            return float(value)
+        return int(value)
+
+    work_spans = [
+        {
+            "name": r.name,
+            "start": r.start - start,
+            "seconds": r.seconds,
+            "window": window_of(r.start),
+            "attrs": {k: plain(v) for k, v in r.attrs.items()},
+        }
+        for r in telemetry.tracer.records
+        if r.name in ("maintenance.compact", "maintenance.rebalance")
+        and (r.attrs.get("rows_reclaimed") or r.attrs.get("applied"))
+    ]
+
+    # -- tables ------------------------------------------------------------
+    rows = []
+    for w in recorder.windows:
+        qh = w.histograms.get(QUERY_SECONDS)
+        check = w.histograms.get("span.maintenance.check")
+        rows.append(
+            [
+                w.index,
+                f"{w.start - start:.1f}-{w.end - start:.1f}s",
+                w.counters.get(OPS, 0),
+                qh.count if qh else 0,
+                (qh.percentile(50) * 1e3) if qh and qh.count else 0.0,
+                (qh.percentile(99) * 1e3) if qh and qh.count else 0.0,
+                (qh.max * 1e3) if qh and qh.count else 0.0,
+                w.counters.get(stats_metric("cracks"), 0),
+                w.counters.get(stats_metric("compactions"), 0),
+                w.counters.get(stats_metric("rebalances"), 0),
+                (check.sum * 1e3) if check else 0.0,
+            ]
+        )
+    report.add_table(
+        "latency trajectory (per window)",
+        [
+            "w", "interval", "ops", "queries", "q_p50_ms", "q_p99_ms",
+            "q_max_ms", "cracks", "compact", "rebal", "maint_ms",
+        ],
+        rows,
+    )
+    report.add_table(
+        "maintenance spans (work performed)",
+        ["span", "window", "t_ms", "dur_ms", "rows"],
+        [
+            [
+                s["name"],
+                s["window"],
+                s["start"] * 1e3,
+                s["seconds"] * 1e3,
+                s["attrs"].get("rows_reclaimed")
+                or s["attrs"].get("rows_migrated")
+                or 0,
+            ]
+            for s in work_spans
+        ],
+    )
+    qh_total = registry.histogram(QUERY_SECONDS)
+    report.add_table(
+        "overall",
+        ["ops", "queries", "q_p50_ms", "q_p99_ms", "q_max_ms",
+         "compact_passes", "rows_reclaimed", "rebalances", "rows_migrated",
+         "maint_s", "elapsed_s"],
+        [[
+            executed,
+            qh_total.count,
+            qh_total.percentile(50) * 1e3,
+            qh_total.percentile(99) * 1e3,
+            qh_total.max * 1e3,
+            scheduler.report.compaction_passes,
+            scheduler.report.rows_reclaimed,
+            scheduler.report.rebalances,
+            scheduler.report.rows_migrated,
+            scheduler.report.seconds,
+            elapsed,
+        ]],
+    )
+
+    # -- notes -------------------------------------------------------------
+    windowed_p99 = [
+        (w.index, w.histograms[QUERY_SECONDS].percentile(99))
+        for w in recorder.windows
+        if QUERY_SECONDS in w.histograms
+        and w.histograms[QUERY_SECONDS].count
+    ]
+    if windowed_p99:
+        worst = max(windowed_p99, key=lambda t: t[1])
+        best = min(windowed_p99, key=lambda t: t[1])
+        report.add_note(
+            f"query p99 ranges {best[1] * 1e3:.2f} ms (window {best[0]}) to "
+            f"{worst[1] * 1e3:.2f} ms (window {worst[0]}) across "
+            f"{len(recorder.windows)} windows"
+        )
+        in_worst = [s for s in work_spans if s["window"] == worst[0]]
+        if in_worst:
+            top = max(in_worst, key=lambda s: s["seconds"])
+            report.add_note(
+                f"worst window {worst[0]} contained {top['name']} "
+                f"({top['seconds'] * 1e3:.2f} ms) — the pause is attributed, "
+                "not mysterious"
+            )
+    if work_spans:
+        top = max(work_spans, key=lambda s: s["seconds"])
+        report.add_note(
+            f"{len(work_spans)} maintenance pass(es) did work; slowest was "
+            f"{top['name']} at {top['seconds'] * 1e3:.2f} ms in window "
+            f"{top['window']}"
+        )
+    else:
+        report.add_note(
+            "no maintenance pass did work this run — lengthen soak_seconds "
+            "or lower the policy thresholds"
+        )
+    if telemetry.tracer.dropped:
+        report.add_note(
+            f"{telemetry.tracer.dropped} span record(s) dropped past the "
+            "tracer cap (registry histograms still complete)"
+        )
+
+    # -- machine-readable trajectory --------------------------------------
+    report.metrics = {
+        "window_seconds": scale.soak_window,
+        "soak_seconds": scale.soak_seconds,
+        "elapsed_seconds": elapsed,
+        "ops_executed": executed,
+        "windows": [w.to_dict(origin=start) for w in recorder.windows],
+        "spans": work_spans,
+        "maintenance": {
+            "checks": scheduler.report.checks,
+            "compaction_passes": scheduler.report.compaction_passes,
+            "rows_reclaimed": scheduler.report.rows_reclaimed,
+            "rebalances": scheduler.report.rebalances,
+            "rows_migrated": scheduler.report.rows_migrated,
+            "seconds": scheduler.report.seconds,
+        },
+        "config": {
+            "n_objects": int(ds.store.n),
+            "n_shards": int(engine.n_shards),
+            "check_every": policy.check_every,
+            "dead_fraction": policy.dead_fraction,
+            "max_balance": policy.max_balance,
+            "query_batch": QUERY_BATCH,
+        },
+    }
+    return report

@@ -139,21 +139,32 @@ class IndexStats:
         self.shards_visited = 0
         self.shards_pruned = 0
 
+    # Coverage guarantee: every counter is a dataclass field, and
+    # as_dict/snapshot/delta_since iterate ``dataclass_fields`` — so a
+    # newly added counter is automatically covered by all three (and by
+    # the telemetry ``stats.*`` flow built on as_dict).  A counter can
+    # only escape deltas by not being a field at all, which
+    # tests/unit/test_index_stats.py asserts cannot happen silently.
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as ``{name: value}``, in field order."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
     def snapshot(self) -> IndexStats:
         """A frozen copy of the current counter values."""
-        return IndexStats(
-            **{
-                f.name: getattr(self, f.name)
-                for f in dataclass_fields(self)
-            }
-        )
+        return IndexStats(**self.as_dict())
 
     def delta_since(self, before: IndexStats) -> IndexStats:
-        """Counter-wise difference ``self - before`` (per-query deltas)."""
+        """Counter-wise difference ``self - before`` (per-query deltas).
+
+        Covers every field — see the coverage guarantee above — so
+        deltas of deltas, telemetry flows, and per-query stats all see
+        the same complete counter set.
+        """
         return IndexStats(
             **{
-                f.name: getattr(self, f.name) - getattr(before, f.name)
-                for f in dataclass_fields(self)
+                name: value - getattr(before, name)
+                for name, value in self.as_dict().items()
             }
         )
 

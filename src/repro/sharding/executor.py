@@ -42,6 +42,16 @@ from repro.queries.range_query import RangeQuery
 from repro.sharding.maintenance import MaintenancePolicy, MaintenanceScheduler
 from repro.sharding.shard import Shard
 from repro.sharding.sharded_index import ShardedIndex
+from repro.telemetry import Telemetry
+from repro.telemetry.naming import (
+    BATCH_FANOUT_SECONDS,
+    BATCH_MERGE_SECONDS,
+    BATCH_ROUTE_SECONDS,
+    BATCH_SECONDS,
+    QUERY_SECONDS,
+    SHARD_BATCH_SECONDS,
+    record_stats_delta,
+)
 
 
 @dataclass
@@ -68,6 +78,18 @@ class BatchResult:
         Per-shard number of (query, shard) executions — the fan-out
         profile; its sum can exceed ``len(results)`` when queries span
         shards and be below it when pruning wins.
+    shard_seconds:
+        Per-shard worker wall-clock for this batch's sub-batches, indexed
+        by shard id (0.0 for shards the batch never visited).  On the
+        parallel path each shard task is timed individually, so
+        shard-level skew is measurable: ``max(shard_seconds)`` bounds the
+        fan-out phase while ``sum(shard_seconds)`` is the total work.
+        The sequential fallback runs the engine's native batch (no
+        per-shard attribution), so the list stays zeroed there.
+    route_seconds / fanout_seconds / merge_seconds:
+        Phase timings of the parallel path: planning queries onto shards
+        (the queueing step), shard tasks in flight, and partial-result
+        assembly.  All 0.0 on the sequential path.
     """
 
     results: list[np.ndarray] = field(default_factory=list)
@@ -76,6 +98,10 @@ class BatchResult:
     mode: str = "sequential"
     workers: int = 1
     shard_queries: list[int] = field(default_factory=list)
+    shard_seconds: list[float] = field(default_factory=list)
+    route_seconds: float = 0.0
+    fanout_seconds: float = 0.0
+    merge_seconds: float = 0.0
 
     @property
     def n_queries(self) -> int:
@@ -102,6 +128,15 @@ class QueryExecutor:
         :class:`MaintenanceScheduler` is ticked after every executed
         batch, so compaction and rebalancing ride the serving loop
         (cracking-style) instead of needing ad-hoc call sites.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle.  When given,
+        every batch records latency histograms (whole batch, per query,
+        per shard sub-batch, route/fan-out/merge phases) and flows the
+        engine's :class:`~repro.index.base.IndexStats` delta into
+        ``stats.*`` registry counters; the maintenance scheduler traces
+        its passes as spans on ``telemetry.tracer``.  When ``None``
+        (default), the only cost on the batch path is one ``is None``
+        test — see docs/OBSERVABILITY.md.
     """
 
     def __init__(
@@ -109,6 +144,7 @@ class QueryExecutor:
         index: ShardedIndex,
         max_workers: int | None = None,
         maintenance: MaintenancePolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ConfigurationError(
@@ -118,8 +154,15 @@ class QueryExecutor:
         if max_workers is None:
             max_workers = min(os.cpu_count() or 1, index.n_shards)
         self._max_workers = int(max_workers)
+        self._telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
         self._scheduler = (
-            MaintenanceScheduler(index, maintenance)
+            MaintenanceScheduler(
+                index,
+                maintenance,
+                tracer=self._telemetry.tracer if self._telemetry else None,
+            )
             if maintenance is not None
             else None
         )
@@ -133,6 +176,11 @@ class QueryExecutor:
     def scheduler(self) -> MaintenanceScheduler | None:
         """The maintenance scheduler (``None`` without a policy)."""
         return self._scheduler
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The telemetry handle (``None`` when disabled or absent)."""
+        return self._telemetry
 
     def run(self, queries: Sequence[Query | RangeQuery]) -> BatchResult:
         """Execute a batch; returns per-query merged results plus timing.
@@ -148,10 +196,39 @@ class QueryExecutor:
         charged to the scheduler's report, never to the batch's
         ``seconds``.
         """
+        tel = self._telemetry
+        before = self._index.stats.snapshot() if tel is not None else None
         out = self._run_batch(queries)
         if self._scheduler is not None:
             self._scheduler.after_ops(len(queries))
+        if tel is not None:
+            self._record_batch(tel, out, before)
         return out
+
+    def _record_batch(
+        self, tel: Telemetry, out: BatchResult, before
+    ) -> None:
+        """Flow one batch's timings and stats delta into the registry.
+
+        Runs *after* the maintenance tick so work triggered by this
+        batch (compaction, rebalancing) lands in the same stats delta —
+        window attribution in a TimeSeriesRecorder then lines up with
+        the scheduler's spans.
+        """
+        reg = tel.registry
+        reg.histogram(BATCH_SECONDS).record(out.seconds)
+        query_hist = reg.histogram(QUERY_SECONDS)
+        for result in out.query_results:
+            query_hist.record(result.seconds)
+        if out.mode == "parallel":
+            shard_hist = reg.histogram(SHARD_BATCH_SECONDS)
+            for seconds in out.shard_seconds:
+                if seconds:
+                    shard_hist.record(seconds)
+            reg.histogram(BATCH_ROUTE_SECONDS).record(out.route_seconds)
+            reg.histogram(BATCH_FANOUT_SECONDS).record(out.fanout_seconds)
+            reg.histogram(BATCH_MERGE_SECONDS).record(out.merge_seconds)
+        record_stats_delta(reg, self._index.stats.delta_since(before))
 
     @staticmethod
     def _ids_of(result: QueryResult) -> np.ndarray:
@@ -179,6 +256,7 @@ class QueryExecutor:
                 mode="sequential",
                 workers=1,
                 shard_queries=[0] * index.n_shards,
+                shard_seconds=[0.0] * index.n_shards,
             )
             out.seconds = time.perf_counter() - t0
             return out
@@ -201,35 +279,48 @@ class QueryExecutor:
                 )
             for shard in index.plan_shards(q):
                 queues.setdefault(shard.sid, []).append(i)
+        t_routed = time.perf_counter()
 
         def work(shard: Shard, idxs: list[int]):
             # One task per shard per batch: the whole sub-batch goes
             # through the shard index's native execute_batch, so shard
-            # indexes batch their own candidate matrices / merges.
-            return idxs, shard.index.execute_batch([queries[i] for i in idxs])
+            # indexes batch their own candidate matrices / merges.  Each
+            # task times itself — pool queueing excluded, so the numbers
+            # expose shard skew rather than dispatch order.
+            w0 = time.perf_counter()
+            sub = shard.index.execute_batch([queries[i] for i in idxs])
+            return idxs, sub, time.perf_counter() - w0
 
         partials: dict[int, list[QueryResult]] = {}
         shard_queries = [0] * index.n_shards
+        shard_seconds = [0.0] * index.n_shards
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
             futures = [
-                pool.submit(work, index.shards[sid], idxs)
+                (sid, pool.submit(work, index.shards[sid], idxs))
                 for sid, idxs in queues.items()
             ]
-            for future in futures:
-                idxs, sub = future.result()
+            for sid, future in futures:
+                idxs, sub, seconds = future.result()
+                shard_seconds[sid] = seconds
                 for i, res in zip(idxs, sub):
                     partials.setdefault(i, []).append(res)
+        t_joined = time.perf_counter()
         for sid, idxs in queues.items():
             shard_queries[sid] = len(idxs)
         # Merging (and its timing) is shared with the engine's native
         # sequential batch: counters, equal-share seconds, and the
         # post-merge wall-clock capture all live in _assemble_batch.
         query_results = index._assemble_batch(queries, partials, t0)
+        t_done = time.perf_counter()
         return BatchResult(
             results=[self._ids_of(r) for r in query_results],
             query_results=query_results,
-            seconds=time.perf_counter() - t0,
+            seconds=t_done - t0,
             mode="parallel",
             workers=self._max_workers,
             shard_queries=shard_queries,
+            shard_seconds=shard_seconds,
+            route_seconds=t_routed - t0,
+            fanout_seconds=t_joined - t_routed,
+            merge_seconds=t_done - t_joined,
         )

@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.index.base import MutableSpatialIndex
 from repro.sharding.rebalancer import Rebalancer, RebalanceResult
 from repro.sharding.sharded_index import ShardedIndex
+from repro.telemetry.tracer import DISABLED, Tracer
 
 
 @dataclass(frozen=True)
@@ -151,6 +152,7 @@ class MaintenanceScheduler:
         self,
         index: MutableSpatialIndex,
         policy: MaintenancePolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not isinstance(index, MutableSpatialIndex):
             raise ConfigurationError(
@@ -159,6 +161,11 @@ class MaintenanceScheduler:
             )
         self._index = index
         self.policy = policy or MaintenancePolicy()
+        #: Spans named ``maintenance.check`` / ``maintenance.compact`` /
+        #: ``maintenance.rebalance`` trace every pass when a tracer is
+        #: given (docs/OBSERVABILITY.md); the shared disabled tracer
+        #: keeps the code branch-free otherwise.
+        self.tracer = tracer if tracer is not None else DISABLED
         self._rebalancer = (
             self.policy.make_rebalancer()
             if self.policy.rebalance and isinstance(index, ShardedIndex)
@@ -200,22 +207,38 @@ class MaintenanceScheduler:
         t0 = time.perf_counter()
         self.report.checks += 1
         index = self._index
-        if isinstance(index, ShardedIndex):
-            reclaimed = index.maybe_compact(self.policy.dead_fraction)
-        else:
-            store = index.store
-            reclaimed = 0
-            if store.n and store.n_dead / store.n > self.policy.dead_fraction:
-                reclaimed = index.compact()
-        if reclaimed:
-            self.report.compaction_passes += 1
-            self.report.rows_reclaimed += reclaimed
-        if self._rebalancer is not None:
-            result = self._rebalancer.maybe_rebalance(index)
-            if result is not None:
-                self.report.rebalances += 1
-                self.report.rows_migrated += result.rows_migrated
-                self.report.last_rebalance = result
+        with self.tracer.span("maintenance.check") as check:
+            with self.tracer.span("maintenance.compact") as span:
+                if isinstance(index, ShardedIndex):
+                    reclaimed = index.maybe_compact(self.policy.dead_fraction)
+                else:
+                    store = index.store
+                    reclaimed = 0
+                    if (
+                        store.n
+                        and store.n_dead / store.n > self.policy.dead_fraction
+                    ):
+                        reclaimed = index.compact()
+                span.set(rows_reclaimed=reclaimed)
+            if reclaimed:
+                self.report.compaction_passes += 1
+                self.report.rows_reclaimed += reclaimed
+            rows_migrated = 0
+            if self._rebalancer is not None:
+                with self.tracer.span("maintenance.rebalance") as span:
+                    result = self._rebalancer.maybe_rebalance(index)
+                    if result is not None:
+                        rows_migrated = result.rows_migrated
+                    span.set(
+                        applied=result is not None, rows_migrated=rows_migrated
+                    )
+                if result is not None:
+                    self.report.rebalances += 1
+                    self.report.rows_migrated += result.rows_migrated
+                    self.report.last_rebalance = result
+            check.set(
+                rows_reclaimed=reclaimed, rows_migrated=rows_migrated
+            )
         self.report.seconds += time.perf_counter() - t0
         return self.report
 

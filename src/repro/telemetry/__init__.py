@@ -1,0 +1,71 @@
+"""Telemetry: streaming metrics, time-series windows, span tracing.
+
+The observability layer for the serving engine.  It is deliberately
+dependency-light (stdlib ``math``/``time``/``threading`` only) and
+opt-in: hot paths accept an optional :class:`Telemetry` handle and skip
+all instrumentation when it is absent, so the un-instrumented cost is a
+single ``is None`` test per batch.
+
+    telemetry = Telemetry()
+    executor = QueryExecutor(engine, maintenance=policy, telemetry=telemetry)
+    recorder = TimeSeriesRecorder(telemetry.registry, window=2.0)
+    ...serve...; recorder.tick(time.perf_counter())
+
+See ``docs/OBSERVABILITY.md`` for the metric/span vocabulary and the
+``BENCH_*.json`` schema the bench harness persists.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    TimeSeriesRecorder,
+    WindowSnapshot,
+)
+from repro.telemetry.naming import (
+    METRICS,
+    SPANS,
+    record_stats_delta,
+    stats_metric,
+)
+from repro.telemetry.tracer import DISABLED, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "LatencyHistogram",
+    "METRICS",
+    "MetricsRegistry",
+    "SPANS",
+    "Span",
+    "SpanRecord",
+    "Telemetry",
+    "TimeSeriesRecorder",
+    "Tracer",
+    "WindowSnapshot",
+    "record_stats_delta",
+    "stats_metric",
+]
+
+
+class Telemetry:
+    """One registry + one registry-backed tracer, wired together.
+
+    The convenience bundle instrumented components accept: a
+    :class:`MetricsRegistry` for counters/gauges/histograms and a
+    :class:`Tracer` whose finished spans also land in ``span.<name>``
+    histograms of the same registry (so pause durations appear in time
+    windows).  Construct with ``enabled=False`` to keep the handles but
+    silence the tracer.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 32_768) -> None:
+        self.enabled = bool(enabled)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(
+            enabled=enabled, registry=self.registry, max_spans=max_spans
+        )

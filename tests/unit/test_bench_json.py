@@ -1,0 +1,225 @@
+"""BENCH_<verb>.json persistence: schema, validation, CLI, trajectory."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import cli
+from repro.bench.reporting import (
+    BENCH_SCHEMA,
+    ExperimentReport,
+    load_bench_files,
+    render_trajectory,
+    to_json_dict,
+    validate_bench_json,
+    write_bench_json,
+)
+
+
+def _report(verb: str = "fig7") -> ExperimentReport:
+    report = ExperimentReport(verb, "a test report")
+    report.add_table("t", ["a", "b"], [[1, 2.5], ["x", "y"]])
+    report.add_note("a note")
+    return report
+
+
+def _soak_metrics(n_windows: int = 3) -> dict:
+    return {
+        "windows": [
+            {
+                "start": float(i),
+                "end": float(i + 1),
+                "counters": {"ops": 10},
+                "gauges": {},
+                "histograms": {
+                    "query.seconds": {
+                        "count": 5, "sum": 0.01, "mean": 0.002,
+                        "max": 0.004, "p50": 0.002, "p90": 0.003,
+                        "p99": 0.001 * (i + 1),
+                    }
+                },
+            }
+            for i in range(n_windows)
+        ],
+        "spans": [
+            {"name": "maintenance.compact", "start": 0.5, "seconds": 0.02,
+             "window": 0, "attrs": {"rows_reclaimed": 100}},
+        ],
+    }
+
+
+class TestSchemaRoundTrip:
+    def test_to_json_dict_shape(self):
+        doc = to_json_dict(_report(), "smoke", 1.25)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["verb"] == "fig7"
+        assert doc["scale"] == "smoke"
+        assert doc["elapsed_seconds"] == 1.25
+        assert doc["created_unix"] > 0
+        assert doc["tables"][0]["headers"] == ["a", "b"]
+        # Cells are stringified exactly as the rendered report prints.
+        assert doc["tables"][0]["rows"][0] == ["1", "2.500"]
+        assert doc["notes"] == ["a note"]
+        assert validate_bench_json(doc) == []
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = write_bench_json(_report(), tmp_path, "smoke", 2.0)
+        assert path.name == "BENCH_fig7.json"
+        loaded = load_bench_files(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0][0] == path
+        assert loaded[0][1] == json.loads(path.read_text())
+        assert validate_bench_json(loaded[0][1]) == []
+
+    def test_write_overwrites(self, tmp_path):
+        write_bench_json(_report(), tmp_path, "smoke", 1.0)
+        write_bench_json(_report(), tmp_path, "tiny", 2.0)
+        (path, doc), = load_bench_files(tmp_path)
+        assert doc["scale"] == "tiny"
+
+    def test_write_refuses_invalid(self, tmp_path):
+        bad = _report("soak")  # soak without windows/spans is invalid
+        with pytest.raises(ValueError, match="refusing to persist"):
+            write_bench_json(bad, tmp_path, "smoke", 1.0)
+        assert load_bench_files(tmp_path) == []
+
+    def test_load_reports_unparseable_files(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{nope")
+        (path, doc), = load_bench_files(tmp_path)
+        assert isinstance(doc, str) and doc.startswith("unreadable")
+
+
+class TestValidator:
+    def test_non_dict(self):
+        assert validate_bench_json([1, 2]) != []
+
+    @pytest.mark.parametrize("key", [
+        "schema", "verb", "scale", "description", "created_unix",
+        "elapsed_seconds", "tables", "notes", "metrics",
+    ])
+    def test_each_field_required(self, key):
+        doc = to_json_dict(_report(), "smoke", 1.0)
+        del doc[key]
+        assert any(key in p for p in validate_bench_json(doc))
+
+    def test_wrong_schema_tag(self):
+        doc = to_json_dict(_report(), "smoke", 1.0)
+        doc["schema"] = "repro-bench/999"
+        assert validate_bench_json(doc)
+
+    def test_row_width_mismatch(self):
+        doc = to_json_dict(_report(), "smoke", 1.0)
+        doc["tables"][0]["rows"].append(["only-one-cell"])
+        assert any("header width" in p for p in validate_bench_json(doc))
+
+    def test_notes_must_be_strings(self):
+        doc = to_json_dict(_report(), "smoke", 1.0)
+        doc["notes"].append(42)
+        assert any("notes" in p for p in validate_bench_json(doc))
+
+    def test_soak_requires_three_windows(self):
+        report = _report("soak")
+        report.metrics = _soak_metrics(n_windows=2)
+        doc = to_json_dict(report, "smoke", 1.0)
+        assert any(">= 3" in p for p in validate_bench_json(doc))
+        report.metrics = _soak_metrics(n_windows=3)
+        assert validate_bench_json(to_json_dict(report, "smoke", 1.0)) == []
+
+    def test_soak_requires_span_list_and_window_keys(self):
+        report = _report("soak")
+        report.metrics = _soak_metrics()
+        del report.metrics["spans"]
+        doc = to_json_dict(report, "smoke", 1.0)
+        assert any("spans" in p for p in validate_bench_json(doc))
+        report.metrics = _soak_metrics()
+        del report.metrics["windows"][1]["histograms"]
+        doc = to_json_dict(report, "smoke", 1.0)
+        assert any("windows[1]" in p for p in validate_bench_json(doc))
+
+
+class TestTrajectory:
+    def test_render_trajectory_rows_and_soak_notes(self):
+        soak = _report("soak")
+        soak.metrics = _soak_metrics()
+        docs = [
+            to_json_dict(_report("fig7"), "small", 1.0),
+            to_json_dict(soak, "smoke", 4.0),
+        ]
+        text = render_trajectory(docs)
+        assert "fig7" in text and "soak" in text
+        # Soak notes surface the p99 range and the slowest span.
+        assert "query p99 per window" in text
+        assert "maintenance.compact" in text
+
+    def test_render_trajectory_empty(self):
+        assert "no BENCH_*.json files found" in render_trajectory([])
+
+    def test_zero_count_windows_excluded_from_p99_note(self):
+        soak = _report("soak")
+        soak.metrics = _soak_metrics()
+        # A flush window with no queries must not drag the range to 0.
+        soak.metrics["windows"].append({
+            "start": 3.0, "end": 3.01, "counters": {}, "gauges": {},
+            "histograms": {"query.seconds": {
+                "count": 0, "sum": 0.0, "mean": 0.0, "max": 0.0,
+                "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            }},
+        })
+        text = render_trajectory([to_json_dict(soak, "smoke", 4.0)])
+        assert "0.00.." not in text
+
+
+class TestCli:
+    @pytest.fixture
+    def stub_bench(self, monkeypatch):
+        """Replace the experiment registry with one instant stub verb."""
+        def run_stub(name, scale):
+            assert name == "stub"
+            return _report("stub")
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"stub": "a stub"})
+        monkeypatch.setattr(cli, "run_experiment", run_stub)
+
+    def test_json_out_flag_writes_and_reports(self, stub_bench, tmp_path, capsys):
+        rc = cli.main(["stub", "--json-out", str(tmp_path)])
+        assert rc == 0
+        doc = json.loads((tmp_path / "BENCH_stub.json").read_text())
+        assert doc["verb"] == "stub"
+        assert doc["scale"] == "small"
+        assert "BENCH_stub.json" in capsys.readouterr().out
+
+    def test_smoke_flag_sets_scale(self, stub_bench, tmp_path):
+        cli.main(["stub", "--smoke", "--json-out", str(tmp_path)])
+        doc = json.loads((tmp_path / "BENCH_stub.json").read_text())
+        assert doc["scale"] == "smoke"
+
+    def test_report_verb_validates(self, stub_bench, tmp_path, capsys):
+        cli.main(["stub", "--json-out", str(tmp_path)])
+        assert cli.main(["report", "--json-out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trajectory" in out and "stub" in out
+        # Corrupt the persisted file: report must now gate with rc 1.
+        path = tmp_path / "BENCH_stub.json"
+        doc = json.loads(path.read_text())
+        doc["schema"] = "wrong"
+        path.write_text(json.dumps(doc))
+        assert cli.main(["report", "--json-out", str(tmp_path)]) == 1
+
+    def test_report_combined_with_runs(self, stub_bench, tmp_path, capsys):
+        rc = cli.main(["stub", "report", "--json-out", str(tmp_path)])
+        assert rc == 0
+        assert "[report over 1 result file(s)" in capsys.readouterr().out
+
+    def test_unknown_experiment_rc2(self, stub_bench, tmp_path, capsys):
+        assert cli.main(["nope", "--json-out", str(tmp_path)]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_default_json_dir_is_repo_root(self, monkeypatch, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        monkeypatch.chdir(nested)
+        assert cli.default_json_dir() == tmp_path
+        monkeypatch.chdir(tmp_path / "a")
+        assert cli.default_json_dir() == tmp_path

@@ -24,3 +24,7 @@ def test_every_bench_verb_is_documented_and_vice_versa():
 
 def test_cli_help_lists_every_experiment():
     assert check_docs.check_cli_help() == []
+
+
+def test_observability_vocabulary_is_documented_both_ways():
+    assert check_docs.check_observability_docs() == []

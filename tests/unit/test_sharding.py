@@ -341,3 +341,31 @@ class TestQueryExecutor:
         )
         for shard in engine.shards:
             shard.index.validate_structure()
+
+    def test_parallel_exposes_shard_and_phase_timings(self, dataset):
+        queries = uniform_workload(dataset.universe, 40, 1e-3, seed=9)
+        par = QueryExecutor(self._engine(dataset), max_workers=4).run(queries)
+        assert len(par.shard_seconds) == 4
+        # Every shard that received a sub-batch self-timed its work.
+        for sid, n in enumerate(par.shard_queries):
+            if n:
+                assert par.shard_seconds[sid] > 0.0
+            else:
+                assert par.shard_seconds[sid] == 0.0
+        # Phase timings tile the batch: route -> fan-out -> merge.
+        assert par.route_seconds > 0.0
+        assert par.fanout_seconds > 0.0
+        assert par.merge_seconds > 0.0
+        phases = par.route_seconds + par.fanout_seconds + par.merge_seconds
+        assert phases == pytest.approx(par.seconds, rel=0.05)
+        # Worker self-timing excludes pool queueing, so each shard's
+        # clock fits inside the fan-out phase that contains it.
+        assert max(par.shard_seconds) <= par.fanout_seconds * 1.05
+
+    def test_sequential_leaves_timings_zeroed(self, dataset):
+        queries = uniform_workload(dataset.universe, 10, 1e-3, seed=10)
+        seq = QueryExecutor(self._engine(dataset), max_workers=1).run(queries)
+        assert seq.shard_seconds == [0.0] * 4
+        assert seq.route_seconds == 0.0
+        assert seq.fanout_seconds == 0.0
+        assert seq.merge_seconds == 0.0

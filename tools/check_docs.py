@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
 """Documentation consistency checks (run by CI and the test suite).
 
-Three checks, all filesystem/CLI-only:
+Four checks, all filesystem/CLI-only:
 
 1. **Internal links resolve** — every relative markdown link in
    ``README.md`` and ``docs/*.md`` points at a file that exists.
 2. **Bench verbs documented** — every experiment id registered in
    ``repro.bench.experiments.EXPERIMENTS`` appears in ``docs/BENCH.md``,
    and every ``experiment-id``-looking verb documented there is
-   actually registered (docs and CLI cannot drift apart).
+   actually registered or a known extra CLI verb (docs and CLI cannot
+   drift apart).
 3. **CLI help lists the verbs** — ``python -m repro.bench --help``
-   mentions every registered experiment id.
+   mentions every registered experiment id and extra verb.
+4. **Observability vocabulary documented** — the metric/span name
+   tables in ``docs/OBSERVABILITY.md`` match
+   ``repro.telemetry.naming.METRICS``/``SPANS`` in both directions, so
+   a new metric cannot ship undocumented and doc rows cannot go stale.
 
 Exit status 0 when everything holds; 1 with a per-problem report
 otherwise.  Run from the repository root::
@@ -27,9 +32,20 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 #: Markdown files whose relative links must resolve.
-LINKED_DOCS = ["README.md", "docs/ARCHITECTURE.md", "docs/BENCH.md"]
+LINKED_DOCS = [
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/BENCH.md",
+    "docs/OBSERVABILITY.md",
+]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+#: First-column backticked ids in markdown tables: ``| `name` | ...``.
+#: The metric charset (dots/underscores) is disjoint from the verb
+#: charset (hyphens), so each check sees only its own vocabulary.
+_VERB_ROW = re.compile(r"^\| `([a-z0-9-]+)` \|", re.MULTILINE)
+_NAME_ROW = re.compile(r"^\| `([a-z0-9_.]+)` \|", re.MULTILINE)
 
 
 def check_links() -> list[str]:
@@ -51,6 +67,7 @@ def check_links() -> list[str]:
 
 def check_bench_docs() -> list[str]:
     """docs/BENCH.md and the EXPERIMENTS registry must agree."""
+    from repro.bench.cli import EXTRA_VERBS
     from repro.bench.experiments import EXPERIMENTS, SCALES
 
     problems = []
@@ -58,13 +75,15 @@ def check_bench_docs() -> list[str]:
     if not bench_md.is_file():
         return ["docs/BENCH.md: file missing"]
     text = bench_md.read_text(encoding="utf-8")
-    documented = set(re.findall(r"^\| `([a-z0-9-]+)` \|", text, re.MULTILINE))
+    documented = set(_VERB_ROW.findall(text))
     registered = set(EXPERIMENTS)
     for verb in sorted(registered - documented):
         problems.append(f"docs/BENCH.md: experiment {verb!r} is not documented")
-    # Scale presets are documented in the same table style; they are
-    # known ids, not unknown experiments.
-    for verb in sorted(documented - registered - set(SCALES)):
+    # Scale presets and extra CLI verbs ('report') are documented in the
+    # same table style; they are known ids, not unknown experiments.
+    for verb in sorted(
+        documented - registered - set(SCALES) - set(EXTRA_VERBS)
+    ):
         problems.append(
             f"docs/BENCH.md: documents unknown experiment {verb!r}"
         )
@@ -73,27 +92,61 @@ def check_bench_docs() -> list[str]:
 
 def check_cli_help() -> list[str]:
     """``python -m repro.bench --help`` must list every experiment id."""
-    from repro.bench.cli import build_parser
+    from repro.bench.cli import EXTRA_VERBS, build_parser
     from repro.bench.experiments import EXPERIMENTS
 
     # argparse wraps long id lists and may break them at hyphens
     # ("mixed-\nworkload"); squash all whitespace before matching.
     help_text = re.sub(r"\s+", "", build_parser().format_help())
     return [
-        f"bench --help does not mention experiment {verb!r}"
-        for verb in sorted(EXPERIMENTS)
+        f"bench --help does not mention verb {verb!r}"
+        for verb in sorted([*EXPERIMENTS, *EXTRA_VERBS])
         if verb not in help_text
     ]
 
 
+def check_observability_docs() -> list[str]:
+    """docs/OBSERVABILITY.md tables must match the naming registry.
+
+    Both directions: every canonical metric/span name needs a doc row,
+    and every documented name must exist in the registry.  Metric names
+    contain dots, so the verb tables of BENCH.md never collide here.
+    """
+    from repro.telemetry.naming import METRICS, SPANS
+
+    obs_md = REPO / "docs" / "OBSERVABILITY.md"
+    if not obs_md.is_file():
+        return ["docs/OBSERVABILITY.md: file missing"]
+    documented = set(_NAME_ROW.findall(obs_md.read_text(encoding="utf-8")))
+    canonical = set(METRICS) | set(SPANS)
+    problems = []
+    for name in sorted(canonical - documented):
+        problems.append(
+            f"docs/OBSERVABILITY.md: metric/span {name!r} is not documented"
+        )
+    for name in sorted(documented - canonical):
+        problems.append(
+            f"docs/OBSERVABILITY.md: documents unknown metric/span {name!r}"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_bench_docs() + check_cli_help()
+    problems = (
+        check_links()
+        + check_bench_docs()
+        + check_cli_help()
+        + check_observability_docs()
+    )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
         return 1
-    print("docs-check: README/docs links, BENCH.md verbs, and CLI help all consistent")
+    print(
+        "docs-check: README/docs links, BENCH.md verbs, CLI help, and "
+        "OBSERVABILITY.md metric tables all consistent"
+    )
     return 0
 
 
