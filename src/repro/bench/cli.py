@@ -11,7 +11,9 @@ Examples::
     quasii-bench compaction               # reclaim tombstoned rows: before/after
     quasii-bench rebalance                # shard rebalancing vs static STR
     quasii-bench soak --smoke             # latency-over-time serving soak
+    quasii-bench soak --smoke --serve-metrics 9464  # + live /metrics endpoint
     quasii-bench report                   # trajectory from saved BENCH_*.json
+    quasii-bench diff --json-out bench-results      # regression gate vs baseline
     quasii-bench all --scale small        # every figure at default scale
 
 Every run persists its result as ``BENCH_<verb>.json`` (schema
@@ -30,6 +32,7 @@ import time
 from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS, SCALES, run_experiment
+from repro.bench.regression import DEFAULT_TOLERANCE, run_diff
 from repro.bench.reporting import (
     load_bench_files,
     render_trajectory,
@@ -41,6 +44,10 @@ from repro.bench.reporting import (
 #: BENCH.md verb table alongside EXPERIMENTS and SCALES).
 EXTRA_VERBS: dict[str, str] = {
     "report": "render a perf-trajectory summary from saved BENCH_*.json files",
+    "diff": (
+        "compare headline metrics in --json-out against a baseline "
+        "directory; non-zero exit on regression past --tolerance"
+    ),
 }
 
 
@@ -99,6 +106,57 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the repository root)"
         ),
     )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "soak only: serve live /metrics, /snapshot.json, /spans, "
+            "/events, /healthz on this port for the duration of the run "
+            "(0 = ephemeral)"
+        ),
+    )
+    diff_group = parser.add_argument_group("diff verb")
+    diff_group.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help=(
+            "baseline directory of BENCH_*.json files for 'diff' "
+            "(default: the repository root — the committed trajectory)"
+        ),
+    )
+    diff_group.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=(
+            "relative headline-metric regression that counts as a breach "
+            f"(default: {DEFAULT_TOLERANCE})"
+        ),
+    )
+    diff_group.add_argument(
+        "--noise-floor",
+        type=float,
+        default=1.0,
+        metavar="SCALE",
+        help=(
+            "multiplier on the per-metric absolute noise floors "
+            "(0 disables absolute gating; default: 1.0)"
+        ),
+    )
+    diff_group.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print the drift table but exit 0 even on breaches",
+    )
+    diff_group.add_argument(
+        "--drift-out",
+        default=None,
+        metavar="FILE",
+        help="also write the rendered drift table to this file",
+    )
     return parser
 
 
@@ -138,7 +196,8 @@ def main(argv: list[str] | None = None) -> int:
     scale = "smoke" if args.smoke else args.scale
     requested = list(args.experiments)
     want_report = "report" in requested
-    requested = [n for n in requested if n != "report"]
+    want_diff = "diff" in requested
+    requested = [n for n in requested if n not in EXTRA_VERBS]
     names = list(EXPERIMENTS) if "all" in requested else requested
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -155,8 +214,15 @@ def main(argv: list[str] | None = None) -> int:
     json_dir.mkdir(parents=True, exist_ok=True)
     chunks: list[str] = []
     for name in names:
+        # Per-verb extras ride through run_experiment's kwargs; only the
+        # soak knows how to serve live metrics mid-run.
+        kwargs = (
+            {"serve_metrics": args.serve_metrics}
+            if name == "soak" and args.serve_metrics is not None
+            else {}
+        )
         t0 = time.perf_counter()
-        report = run_experiment(name, scale)
+        report = run_experiment(name, scale, **kwargs)
         elapsed = time.perf_counter() - t0
         text = report.render()
         chunks.append(text)
@@ -170,9 +236,23 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.output, "a", encoding="utf-8") as fh:
             fh.write("\n".join(chunks))
             fh.write("\n")
+    status = 0
     if want_report:
-        return run_report_verb(json_dir)
-    return 0
+        status = run_report_verb(json_dir)
+    if want_diff:
+        baseline_dir = (
+            Path(args.baseline) if args.baseline else default_json_dir()
+        )
+        diff_status = run_diff(
+            baseline_dir,
+            json_dir,
+            tolerance=args.tolerance,
+            noise_scale=args.noise_floor,
+            warn_only=args.warn_only,
+            out_file=args.drift_out,
+        )
+        status = status or diff_status
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

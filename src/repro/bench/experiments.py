@@ -113,6 +113,7 @@ class Scale:
     soak_insert_batch: int = 64         # boxes per ingestion burst
     soak_delete_every: int = 25         # ops between delete storms
     soak_delete_batch: int = 2000       # rows tombstoned per storm
+    soak_slow_ms: float = 10.0          # slow-query event threshold (ms)
     seed: int = 7
 
 
@@ -146,6 +147,9 @@ SCALES: dict[str, Scale] = {
         soak_window=0.4,
         soak_ops=600,
         soak_delete_batch=400,
+        # Low enough that even a smoke soak logs a handful of slow-query
+        # events, so the report's slowest-queries table is exercised.
+        soak_slow_ms=1.0,
     ),
     # Default: large enough that build-vs-query cost ratios have the
     # paper's sign (see EXPERIMENTS.md for the calibration discussion).
@@ -1622,6 +1626,18 @@ def rebalance_experiment(scale: Scale) -> ExperimentReport:
         "the maintenance budget, not as a post-split latency spike on "
         "the serving path"
     )
+    # Headline metrics for the regression gate: the maintained engine's
+    # whole-run balance and latency figures (balance/latency: lower is
+    # better; the gate knows the direction per metric name).
+    rebal = summary["rebalanced"]
+    report.metrics = {
+        "headline": {
+            "rebalanced_peak_balance": float(rebal[1]),
+            "rebalanced_final_balance": float(rebal[2]),
+            "rebalanced_p50_ms": float(rebal[4]),
+            "rebalanced_p99_ms": float(rebal[5]),
+        }
+    }
     return report
 
 
@@ -1757,6 +1773,7 @@ def query_api_experiment(scale: Scale) -> ExperimentReport:
 
     # Count-only short-circuit.
     crows = []
+    count_speedups: dict[str, float] = {}
     for kind in ("Scan", "Grid", "QUASII"):
         ids_index = fresh(kind)
         t0 = time.perf_counter()
@@ -1769,6 +1786,9 @@ def query_api_experiment(scale: Scale) -> ExperimentReport:
         t0 = time.perf_counter()
         count_index.execute_batch(count_queries)
         count_seconds = time.perf_counter() - t0
+        count_speedups[kind] = (
+            ids_seconds / count_seconds if count_seconds else 0.0
+        )
         crows.append(
             [
                 kind,
@@ -1788,6 +1808,20 @@ def query_api_experiment(scale: Scale) -> ExperimentReport:
         "useful for selectivity probes (the kNN extension's expanding "
         "rounds) and existence checks"
     )
+    # Headline metrics the regression gate (repro.bench.regression)
+    # compares run-over-run; all are speedup ratios (higher is better).
+    report.metrics = {
+        "headline": {
+            **{
+                f"batch_speedup_{kind.lower()}": round(speedups[kind], 4)
+                for kind in kinds
+            },
+            **{
+                f"count_speedup_{kind.lower()}": round(ratio, 4)
+                for kind, ratio in count_speedups.items()
+            },
+        }
+    }
     return report
 
 
@@ -1907,8 +1941,15 @@ EXPERIMENTS: dict[str, tuple[Callable[[Scale], ExperimentReport], str]] = {
 }
 
 
-def run_experiment(name: str, scale: Scale | str = "small") -> ExperimentReport:
-    """Run one experiment by id; accepts a scale preset name or object."""
+def run_experiment(
+    name: str, scale: Scale | str = "small", **kwargs
+) -> ExperimentReport:
+    """Run one experiment by id; accepts a scale preset name or object.
+
+    Extra keyword arguments are forwarded to the experiment function —
+    used by the CLI to thread per-verb options (e.g. the soak's
+    ``serve_metrics`` port) without widening every experiment signature.
+    """
     if isinstance(scale, str):
         try:
             scale = SCALES[scale]
@@ -1922,4 +1963,4 @@ def run_experiment(name: str, scale: Scale | str = "small") -> ExperimentReport:
         raise ConfigurationError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return func(scale)
+    return func(scale, **kwargs)

@@ -36,7 +36,12 @@ from repro.queries.workloads import WorkloadOp, drifting_hotspot_workload
 from repro.sharding.executor import QueryExecutor
 from repro.sharding.maintenance import MaintenancePolicy
 from repro.sharding.sharded_index import ShardedIndex
-from repro.telemetry import Telemetry, TimeSeriesRecorder
+from repro.telemetry import (
+    EventLog,
+    MetricsServer,
+    Telemetry,
+    TimeSeriesRecorder,
+)
 from repro.telemetry.naming import (
     DELETE_SECONDS,
     INSERT_SECONDS,
@@ -86,8 +91,19 @@ def _soak_ops(universe, scale: "Scale") -> list[WorkloadOp]:
     return ops
 
 
-def soak_experiment(scale: "Scale") -> ExperimentReport:
-    """Run the soak for ``scale.soak_seconds``; report the trajectory."""
+def soak_experiment(
+    scale: "Scale", serve_metrics: int | None = None
+) -> ExperimentReport:
+    """Run the soak for ``scale.soak_seconds``; report the trajectory.
+
+    With ``serve_metrics`` set (a port; ``0`` picks an ephemeral one), a
+    :class:`~repro.telemetry.MetricsServer` exposes the live registry,
+    span ring, and event log for the duration of the run — the CLI's
+    ``--serve-metrics`` flag, so a running soak is scrapeable mid-flight.
+    Queries slower than ``scale.soak_slow_ms`` land in a structured
+    :class:`~repro.telemetry.EventLog` as ``slow_query`` events; the
+    report ends with the slowest of them, fully attributed.
+    """
     report = ExperimentReport(
         "soak",
         "Steady-state serving soak: windowed latency histograms with "
@@ -102,6 +118,7 @@ def soak_experiment(scale: "Scale") -> ExperimentReport:
     )
     engine.build()
     telemetry = Telemetry()
+    events = EventLog()
     policy = MaintenancePolicy(
         check_every=16,
         dead_fraction=0.15,
@@ -109,11 +126,26 @@ def soak_experiment(scale: "Scale") -> ExperimentReport:
         max_query_skew=2.5,
         min_queries=16,
     )
+    slow_threshold = scale.soak_slow_ms / 1e3
     executor = QueryExecutor(
-        engine, max_workers=2, maintenance=policy, telemetry=telemetry
+        engine,
+        max_workers=2,
+        maintenance=policy,
+        telemetry=telemetry,
+        events=events,
+        slow_query_threshold=slow_threshold,
     )
     scheduler = executor.scheduler
     assert scheduler is not None
+    server: MetricsServer | None = None
+    if serve_metrics is not None:
+        server = MetricsServer(
+            telemetry, port=serve_metrics, events=events
+        ).start()
+        report.add_note(
+            f"live metrics served at {server.url} for the duration of the "
+            "run (/metrics, /snapshot.json, /spans, /events, /healthz)"
+        )
     recorder = TimeSeriesRecorder(telemetry.registry, window=scale.soak_window)
     registry = telemetry.registry
     ops_counter = registry.counter(OPS)
@@ -161,25 +193,29 @@ def soak_experiment(scale: "Scale") -> ExperimentReport:
     executed = 0
     i = 0
     now = start
-    while now < deadline:
-        op = ops[i % len(ops)]
-        i += 1
-        if op.kind == "query":
-            pending.append(as_query(op.query))
-            if len(pending) >= QUERY_BATCH:
+    try:
+        while now < deadline:
+            op = ops[i % len(ops)]
+            i += 1
+            if op.kind == "query":
+                pending.append(as_query(op.query))
+                if len(pending) >= QUERY_BATCH:
+                    flush_queries()
+            else:
                 flush_queries()
-        else:
-            flush_queries()
-            write_tick(op, executed)
-        executed += 1
-        ops_counter.inc()
-        store = engine.store
-        live_gauge.set(store.live_count)
-        dead_gauge.set(store.n_dead / store.n if store.n else 0.0)
-        balance_gauge.set(engine.balance_factor())
-        now = time.perf_counter()
-        recorder.tick(now)
-    flush_queries()
+                write_tick(op, executed)
+            executed += 1
+            ops_counter.inc()
+            store = engine.store
+            live_gauge.set(store.live_count)
+            dead_gauge.set(store.n_dead / store.n if store.n else 0.0)
+            balance_gauge.set(engine.balance_factor())
+            now = time.perf_counter()
+            recorder.tick(now)
+        flush_queries()
+    finally:
+        if server is not None:
+            server.stop()
     now = time.perf_counter()
     recorder.flush(now)
     elapsed = now - start
@@ -277,6 +313,43 @@ def soak_experiment(scale: "Scale") -> ExperimentReport:
         ]],
     )
 
+    # -- slowest queries (structured slow_query events) --------------------
+    slow = sorted(
+        events.recent("slow_query"),
+        key=lambda e: e.payload["seconds"],
+        reverse=True,
+    )
+    top_slow = slow[:8]
+    report.add_table(
+        f"slowest queries (> {scale.soak_slow_ms:g} ms threshold; "
+        f"{len(slow)} slow_query event(s) in the log)",
+        [
+            "seq", "ms", "rows", "predicate", "mode", "window",
+            "batch_ms", "visited", "pruned",
+        ],
+        [
+            [
+                e.payload["seq"],
+                round(e.payload["seconds"] * 1e3, 3),
+                e.payload["count"],
+                e.payload["predicate"],
+                e.payload["batch_mode"],
+                "x".join(
+                    f"{hi - lo:.0f}"
+                    for lo, hi in zip(
+                        e.payload["window_lo"], e.payload["window_hi"]
+                    )
+                ),
+                round(e.payload["batch_seconds"] * 1e3, 2),
+                e.payload["shards_visited"],
+                e.payload["shards_pruned"]
+                if e.payload["shards_pruned"] is not None
+                else "-",
+            ]
+            for e in top_slow
+        ],
+    )
+
     # -- notes -------------------------------------------------------------
     windowed_p99 = [
         (w.index, w.histograms[QUERY_SECONDS].percentile(99))
@@ -317,6 +390,25 @@ def soak_experiment(scale: "Scale") -> ExperimentReport:
             f"{telemetry.tracer.dropped} span record(s) dropped past the "
             "tracer cap (registry histograms still complete)"
         )
+    if top_slow:
+        worst_q = top_slow[0]
+        report.add_note(
+            f"slowest query (seq {worst_q.payload['seq']}) took "
+            f"{worst_q.payload['seconds'] * 1e3:.2f} ms in a "
+            f"{worst_q.payload['batch_mode']} batch of "
+            f"{worst_q.payload['batch_queries']} "
+            f"({worst_q.payload['batch_seconds'] * 1e3:.2f} ms total)"
+        )
+    else:
+        report.add_note(
+            f"no query exceeded the {scale.soak_slow_ms:g} ms slow-query "
+            "threshold — lower scale.soak_slow_ms to exercise the event log"
+        )
+    if events.dropped:
+        report.add_note(
+            f"{events.dropped} event(s) dropped past the event-log ring "
+            "(emitted counter still complete)"
+        )
 
     # -- machine-readable trajectory --------------------------------------
     report.metrics = {
@@ -341,6 +433,25 @@ def soak_experiment(scale: "Scale") -> ExperimentReport:
             "dead_fraction": policy.dead_fraction,
             "max_balance": policy.max_balance,
             "query_batch": QUERY_BATCH,
+            "slow_query_threshold_ms": scale.soak_slow_ms,
+        },
+        "slow_queries": [e.to_dict() for e in top_slow],
+        "events": {
+            "emitted": events.emitted,
+            "dropped": events.dropped,
+            "slow_query_threshold_ms": scale.soak_slow_ms,
+        },
+        # Headline metrics the regression gate compares run-over-run
+        # (all latencies: lower is better).
+        "headline": {
+            "query_p50_ms": qh_total.percentile(50) * 1e3,
+            "query_p99_ms": qh_total.percentile(99) * 1e3,
+            "worst_window_p99_ms": (
+                max(p99 for _, p99 in windowed_p99) * 1e3
+                if windowed_p99
+                else 0.0
+            ),
+            "ops_per_second": executed / elapsed if elapsed else 0.0,
         },
     }
     return report

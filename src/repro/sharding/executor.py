@@ -43,6 +43,7 @@ from repro.sharding.maintenance import MaintenancePolicy, MaintenanceScheduler
 from repro.sharding.shard import Shard
 from repro.sharding.sharded_index import ShardedIndex
 from repro.telemetry import Telemetry
+from repro.telemetry.events import EventLog
 from repro.telemetry.naming import (
     BATCH_FANOUT_SECONDS,
     BATCH_MERGE_SECONDS,
@@ -137,6 +138,17 @@ class QueryExecutor:
         its passes as spans on ``telemetry.tracer``.  When ``None``
         (default), the only cost on the batch path is one ``is None``
         test — see docs/OBSERVABILITY.md.
+    events:
+        Optional :class:`~repro.telemetry.events.EventLog`.  Slow-query
+        events land here (see ``slow_query_threshold``), and the
+        maintenance scheduler mirrors its work-performing passes as
+        ``maintenance.*`` events.
+    slow_query_threshold:
+        Seconds above which an executed query emits a ``slow_query``
+        event into ``events``, carrying the query window,
+        predicate/mode, its seconds, and the owning batch's fan-out
+        profile (per-shard seconds, shards visited/pruned, phase
+        split).  ``None`` (default) disables the check entirely.
     """
 
     def __init__(
@@ -145,10 +157,17 @@ class QueryExecutor:
         max_workers: int | None = None,
         maintenance: MaintenancePolicy | None = None,
         telemetry: Telemetry | None = None,
+        events: EventLog | None = None,
+        slow_query_threshold: float | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ConfigurationError(
                 f"max_workers must be >= 0, got {max_workers}"
+            )
+        if slow_query_threshold is not None and slow_query_threshold < 0:
+            raise ConfigurationError(
+                "slow_query_threshold must be >= 0 seconds, got "
+                f"{slow_query_threshold}"
             )
         self._index = index
         if max_workers is None:
@@ -157,11 +176,14 @@ class QueryExecutor:
         self._telemetry = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
+        self._events = events
+        self._slow_query_threshold = slow_query_threshold
         self._scheduler = (
             MaintenanceScheduler(
                 index,
                 maintenance,
                 tracer=self._telemetry.tracer if self._telemetry else None,
+                events=events,
             )
             if maintenance is not None
             else None
@@ -181,6 +203,11 @@ class QueryExecutor:
     def telemetry(self) -> Telemetry | None:
         """The telemetry handle (``None`` when disabled or absent)."""
         return self._telemetry
+
+    @property
+    def events(self) -> EventLog | None:
+        """The event log (``None`` when absent)."""
+        return self._events
 
     def run(self, queries: Sequence[Query | RangeQuery]) -> BatchResult:
         """Execute a batch; returns per-query merged results plus timing.
@@ -203,6 +230,11 @@ class QueryExecutor:
             self._scheduler.after_ops(len(queries))
         if tel is not None:
             self._record_batch(tel, out, before)
+        if (
+            self._events is not None
+            and self._slow_query_threshold is not None
+        ):
+            self._log_slow_queries(out)
         return out
 
     def _record_batch(
@@ -229,6 +261,45 @@ class QueryExecutor:
             reg.histogram(BATCH_FANOUT_SECONDS).record(out.fanout_seconds)
             reg.histogram(BATCH_MERGE_SECONDS).record(out.merge_seconds)
         record_stats_delta(reg, self._index.stats.delta_since(before))
+
+    def _log_slow_queries(self, out: BatchResult) -> None:
+        """Emit one ``slow_query`` event per over-threshold query.
+
+        Payloads carry the whole diagnostic picture a latency histogram
+        cannot: the offending window, its predicate/mode, and the
+        owning batch's fan-out profile — which shards did the work (and
+        for how long), how many were pruned, and how the batch's time
+        split across route/fan-out/merge.  Bounded by the event log's
+        ring, so a pathological batch cannot balloon memory.
+        """
+        threshold = self._slow_query_threshold
+        visited = sum(1 for n in out.shard_queries if n)
+        pruned = (
+            self._index.n_shards - visited if out.mode == "parallel" else None
+        )
+        for result in out.query_results:
+            if result.seconds <= threshold:
+                continue
+            q = result.query
+            self._events.emit(
+                "slow_query",
+                seq=q.seq,
+                predicate=q.predicate,
+                mode=q.mode,
+                window_lo=q.window.lo,
+                window_hi=q.window.hi,
+                seconds=result.seconds,
+                count=result.count,
+                batch_mode=out.mode,
+                batch_seconds=out.seconds,
+                batch_queries=out.n_queries,
+                shards_visited=visited,
+                shards_pruned=pruned,
+                shard_seconds=out.shard_seconds,
+                route_seconds=out.route_seconds,
+                fanout_seconds=out.fanout_seconds,
+                merge_seconds=out.merge_seconds,
+            )
 
     @staticmethod
     def _ids_of(result: QueryResult) -> np.ndarray:

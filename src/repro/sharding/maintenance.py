@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.index.base import MutableSpatialIndex
 from repro.sharding.rebalancer import Rebalancer, RebalanceResult
 from repro.sharding.sharded_index import ShardedIndex
+from repro.telemetry.events import EventLog
 from repro.telemetry.tracer import DISABLED, Tracer
 
 
@@ -153,6 +154,7 @@ class MaintenanceScheduler:
         index: MutableSpatialIndex,
         policy: MaintenancePolicy | None = None,
         tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if not isinstance(index, MutableSpatialIndex):
             raise ConfigurationError(
@@ -166,6 +168,11 @@ class MaintenanceScheduler:
         #: given (docs/OBSERVABILITY.md); the shared disabled tracer
         #: keeps the code branch-free otherwise.
         self.tracer = tracer if tracer is not None else DISABLED
+        #: Optional event log: work-performing passes emit
+        #: ``maintenance.compact`` / ``maintenance.rebalance`` events
+        #: mirroring the spans above (attrs + pass duration), so a
+        #: structured log can explain a pause without span access.
+        self.events = events
         self._rebalancer = (
             self.policy.make_rebalancer()
             if self.policy.rebalance and isinstance(index, ShardedIndex)
@@ -208,6 +215,7 @@ class MaintenanceScheduler:
         self.report.checks += 1
         index = self._index
         with self.tracer.span("maintenance.check") as check:
+            tc = time.perf_counter()
             with self.tracer.span("maintenance.compact") as span:
                 if isinstance(index, ShardedIndex):
                     reclaimed = index.maybe_compact(self.policy.dead_fraction)
@@ -223,8 +231,16 @@ class MaintenanceScheduler:
             if reclaimed:
                 self.report.compaction_passes += 1
                 self.report.rows_reclaimed += reclaimed
+                if self.events is not None:
+                    self.events.emit(
+                        "maintenance.compact",
+                        rows_reclaimed=reclaimed,
+                        seconds=time.perf_counter() - tc,
+                        check=self.report.checks,
+                    )
             rows_migrated = 0
             if self._rebalancer is not None:
+                tr = time.perf_counter()
                 with self.tracer.span("maintenance.rebalance") as span:
                     result = self._rebalancer.maybe_rebalance(index)
                     if result is not None:
@@ -236,6 +252,13 @@ class MaintenanceScheduler:
                     self.report.rebalances += 1
                     self.report.rows_migrated += result.rows_migrated
                     self.report.last_rebalance = result
+                    if self.events is not None:
+                        self.events.emit(
+                            "maintenance.rebalance",
+                            rows_migrated=rows_migrated,
+                            seconds=time.perf_counter() - tr,
+                            check=self.report.checks,
+                        )
             check.set(
                 rows_reclaimed=reclaimed, rows_migrated=rows_migrated
             )

@@ -17,6 +17,14 @@ See ``docs/OBSERVABILITY.md`` for the metric/span vocabulary and the
 
 from __future__ import annotations
 
+from repro.telemetry.events import EVENTS, EventLog, EventRecord
+from repro.telemetry.export import (
+    histogram_from_snapshot,
+    json_snapshot,
+    registry_prometheus,
+    render_prometheus,
+    snapshot_prometheus,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -31,15 +39,21 @@ from repro.telemetry.naming import (
     record_stats_delta,
     stats_metric,
 )
+from repro.telemetry.server import ENDPOINTS, MetricsServer
 from repro.telemetry.tracer import DISABLED, Span, SpanRecord, Tracer
 
 __all__ = [
     "Counter",
     "DISABLED",
+    "ENDPOINTS",
+    "EVENTS",
+    "EventLog",
+    "EventRecord",
     "Gauge",
     "LatencyHistogram",
     "METRICS",
     "MetricsRegistry",
+    "MetricsServer",
     "SPANS",
     "Span",
     "SpanRecord",
@@ -47,7 +61,12 @@ __all__ = [
     "TimeSeriesRecorder",
     "Tracer",
     "WindowSnapshot",
+    "histogram_from_snapshot",
+    "json_snapshot",
     "record_stats_delta",
+    "registry_prometheus",
+    "render_prometheus",
+    "snapshot_prometheus",
     "stats_metric",
 ]
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.telemetry.metrics import MetricsRegistry
@@ -123,9 +124,12 @@ class Tracer:
         their duration into the ``span.<name>`` histogram, making pause
         durations visible per time window.
     max_spans:
-        Record-list cap (memory bound for long soaks).  Past it, spans
-        still time and feed the registry but their records are dropped
-        and counted in :attr:`dropped`.
+        Record-ring cap (memory bound for long soaks).  The ring keeps
+        the *most recent* ``max_spans`` records — past the cap the
+        oldest record is evicted per finished span and counted in
+        :attr:`dropped`; the registry histograms stay complete either
+        way.  Scrapers read :attr:`dropped` (the ``/spans`` endpoint
+        exposes it) to detect truncation.
     """
 
     def __init__(
@@ -138,9 +142,10 @@ class Tracer:
         self._registry = registry
         self._max_spans = int(max_spans)
         self._local = threading.local()
-        #: Finished spans, completion order (bounded by ``max_spans``).
-        self.records: list[SpanRecord] = []
-        #: Spans whose records were dropped once ``max_spans`` was hit.
+        #: Finished spans, completion order; a ring of the most recent
+        #: ``max_spans`` records.
+        self.records: deque[SpanRecord] = deque(maxlen=max(self._max_spans, 0))
+        #: Span records evicted from the ring once ``max_spans`` was hit.
         self.dropped = 0
 
     def _stack(self) -> list[str]:
@@ -156,17 +161,22 @@ class Tracer:
         return Span(self, name, attrs)
 
     def _finish(self, record: SpanRecord) -> None:
-        if len(self.records) < self._max_spans:
-            self.records.append(record)
-        else:
+        if len(self.records) >= self._max_spans:
             self.dropped += 1
+        self.records.append(record)
         if self._registry is not None:
             self._registry.histogram(
                 SPAN_METRIC_PREFIX + record.name
             ).record(record.seconds)
 
     def spans(self, name: str | None = None) -> list[SpanRecord]:
-        """Finished spans, optionally filtered by name."""
+        """Finished spans (a defensive copy), optionally filtered by name.
+
+        Always a fresh list — never the live ring — so callers can sort,
+        slice, or hold the result while spans keep finishing.  When the
+        ring has wrapped, only the most recent ``max_spans`` records
+        remain; :attr:`dropped` counts the evicted rest.
+        """
         if name is None:
             return list(self.records)
         return [r for r in self.records if r.name == name]

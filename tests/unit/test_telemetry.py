@@ -9,6 +9,7 @@ tick timestamps.
 
 from __future__ import annotations
 
+import json
 import time
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.sharding import (
 )
 from repro.telemetry import (
     DISABLED,
+    EventLog,
     LatencyHistogram,
     MetricsRegistry,
     Telemetry,
@@ -288,7 +290,7 @@ class TestTracer:
         tracer = Tracer(enabled=False)
         with tracer.span("x") as span:
             span.set(ignored=1)
-        assert tracer.records == []
+        assert list(tracer.records) == []
         assert DISABLED.span("y") is DISABLED.span("z")  # shared no-op
 
     def test_disabled_overhead_near_zero(self):
@@ -301,7 +303,7 @@ class TestTracer:
         # ~0.6 µs/span on any plausible machine; 2 s is a 20x margin
         # against CI noise while still catching accidental allocation.
         assert elapsed < 2.0
-        assert tracer.records == []
+        assert list(tracer.records) == []
 
     def test_registry_backed_span_histograms(self):
         reg = MetricsRegistry()
@@ -321,6 +323,23 @@ class TestTracer:
         assert len(tracer.records) == 2
         assert tracer.dropped == 3
         assert reg.histograms()["span.s"].count == 5  # histogram complete
+
+    def test_ring_keeps_most_recent_records(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(6):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.records] == ["s3", "s4", "s5"]
+        assert tracer.dropped == 3
+
+    def test_spans_returns_defensive_copy(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        view = tracer.spans()
+        view.clear()
+        assert len(tracer.spans()) == 1
+        assert tracer.spans() is not tracer.records
 
     def test_exception_still_records(self):
         tracer = Tracer()
@@ -390,7 +409,66 @@ class TestInstrumentation:
         scheduler = MaintenanceScheduler(engine, MaintenancePolicy())
         assert scheduler.tracer is DISABLED
         scheduler.run()  # must not record anywhere
-        assert DISABLED.records == []
+        assert list(DISABLED.records) == []
+
+    def test_executor_emits_slow_query_events(self):
+        ds, engine = self._engine()
+        events = EventLog()
+        # threshold 0.0: every executed query is "slow", deterministically.
+        ex = QueryExecutor(
+            engine, max_workers=2, events=events, slow_query_threshold=0.0
+        )
+        queries = uniform_workload(ds.universe, 10, seed=1)
+        out = ex.run(queries)
+        slow = events.recent("slow_query")
+        assert len(slow) == 10
+        payload = slow[0].payload
+        for key in (
+            "seq", "predicate", "mode", "window_lo", "window_hi",
+            "seconds", "count", "batch_mode", "batch_seconds",
+            "batch_queries", "shards_visited", "shards_pruned",
+            "shard_seconds", "route_seconds", "fanout_seconds",
+            "merge_seconds",
+        ):
+            assert key in payload, key
+        assert payload["batch_mode"] == out.mode
+        assert payload["batch_queries"] == 10
+        json.dumps(payload)  # wire-ready without a default=
+
+    def test_executor_without_threshold_emits_nothing(self):
+        ds, engine = self._engine()
+        events = EventLog()
+        ex = QueryExecutor(engine, max_workers=1, events=events)
+        ex.run(uniform_workload(ds.universe, 5, seed=1))
+        assert events.recent() == []
+
+    def test_executor_rejects_negative_threshold(self):
+        _, engine = self._engine()
+        with pytest.raises(ConfigurationError):
+            QueryExecutor(
+                engine, events=EventLog(), slow_query_threshold=-1.0
+            )
+
+    def test_scheduler_emits_compaction_event_when_work_happens(self):
+        ds, engine = self._engine()
+        events = EventLog()
+        scheduler = MaintenanceScheduler(
+            engine,
+            MaintenancePolicy(check_every=1, dead_fraction=0.1),
+            events=events,
+        )
+        scheduler.run()  # nothing dead yet: no event
+        assert events.recent("maintenance.compact") == []
+        engine.delete(ds.store.ids[:1000])  # half the rows tombstoned
+        scheduler.run()
+        (event,) = events.recent("maintenance.compact")
+        assert event.payload["rows_reclaimed"] > 0
+        assert event.payload["seconds"] >= 0.0
+        # Events mirror the report: counts must agree.
+        assert scheduler.report.compaction_passes == 1
+        assert len(events.recent("maintenance.rebalance")) == (
+            scheduler.report.rebalances
+        )
 
     def test_vocabulary_covers_instrumented_names(self):
         # Every name the executor writes must be canonical.

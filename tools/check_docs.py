@@ -12,10 +12,14 @@ Four checks, all filesystem/CLI-only:
    drift apart).
 3. **CLI help lists the verbs** — ``python -m repro.bench --help``
    mentions every registered experiment id and extra verb.
-4. **Observability vocabulary documented** — the metric/span name
+4. **Observability vocabulary documented** — the metric/span/event name
    tables in ``docs/OBSERVABILITY.md`` match
-   ``repro.telemetry.naming.METRICS``/``SPANS`` in both directions, so
-   a new metric cannot ship undocumented and doc rows cannot go stale.
+   ``repro.telemetry.naming.METRICS``/``SPANS`` and
+   ``repro.telemetry.events.EVENTS`` in both directions, so a new
+   metric cannot ship undocumented and doc rows cannot go stale.
+5. **HTTP endpoints documented** — the endpoint table in
+   ``docs/OBSERVABILITY.md`` matches
+   ``repro.telemetry.server.ENDPOINTS`` in both directions.
 
 Exit status 0 when everything holds; 1 with a per-problem report
 otherwise.  Run from the repository root::
@@ -46,6 +50,8 @@ _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
 #: charset (hyphens), so each check sees only its own vocabulary.
 _VERB_ROW = re.compile(r"^\| `([a-z0-9-]+)` \|", re.MULTILINE)
 _NAME_ROW = re.compile(r"^\| `([a-z0-9_.]+)` \|", re.MULTILINE)
+#: Endpoint paths start with a slash, so neither charset above sees them.
+_ENDPOINT_ROW = re.compile(r"^\| `(/[a-z0-9_./-]*)` \|", re.MULTILINE)
 
 
 def check_links() -> list[str]:
@@ -106,27 +112,46 @@ def check_cli_help() -> list[str]:
 
 
 def check_observability_docs() -> list[str]:
-    """docs/OBSERVABILITY.md tables must match the naming registry.
+    """docs/OBSERVABILITY.md tables must match the code registries.
 
-    Both directions: every canonical metric/span name needs a doc row,
-    and every documented name must exist in the registry.  Metric names
-    contain dots, so the verb tables of BENCH.md never collide here.
+    Both directions, for all three vocabularies: every canonical
+    metric/span/event name needs a doc row and every documented name
+    must exist in a registry; the same holds for the HTTP endpoint
+    table against ``repro.telemetry.server.ENDPOINTS``.  Metric names
+    contain dots and endpoints contain slashes, so the verb tables of
+    BENCH.md never collide here.
     """
+    from repro.telemetry.events import EVENTS
     from repro.telemetry.naming import METRICS, SPANS
+    from repro.telemetry.server import ENDPOINTS
 
     obs_md = REPO / "docs" / "OBSERVABILITY.md"
     if not obs_md.is_file():
         return ["docs/OBSERVABILITY.md: file missing"]
-    documented = set(_NAME_ROW.findall(obs_md.read_text(encoding="utf-8")))
-    canonical = set(METRICS) | set(SPANS)
+    text = obs_md.read_text(encoding="utf-8")
     problems = []
+
+    documented = set(_NAME_ROW.findall(text))
+    canonical = set(METRICS) | set(SPANS) | set(EVENTS)
     for name in sorted(canonical - documented):
         problems.append(
-            f"docs/OBSERVABILITY.md: metric/span {name!r} is not documented"
+            f"docs/OBSERVABILITY.md: metric/span/event {name!r} is not "
+            "documented"
         )
     for name in sorted(documented - canonical):
         problems.append(
-            f"docs/OBSERVABILITY.md: documents unknown metric/span {name!r}"
+            "docs/OBSERVABILITY.md: documents unknown metric/span/event "
+            f"{name!r}"
+        )
+
+    documented_paths = set(_ENDPOINT_ROW.findall(text))
+    for path in sorted(set(ENDPOINTS) - documented_paths):
+        problems.append(
+            f"docs/OBSERVABILITY.md: endpoint {path!r} is not documented"
+        )
+    for path in sorted(documented_paths - set(ENDPOINTS)):
+        problems.append(
+            f"docs/OBSERVABILITY.md: documents unknown endpoint {path!r}"
         )
     return problems
 
@@ -145,7 +170,7 @@ def main() -> int:
         return 1
     print(
         "docs-check: README/docs links, BENCH.md verbs, CLI help, and "
-        "OBSERVABILITY.md metric tables all consistent"
+        "OBSERVABILITY.md metric/span/event/endpoint tables all consistent"
     )
     return 0
 
