@@ -57,7 +57,10 @@ class _Partition:
         return int(self.rows.size) if self.rows is not None else 0
 
 
-class MosaicIndex(SpatialIndex):
+# Stateful but deliberately no on_compaction: Mosaic cannot absorb a
+# compaction remap and documents full-rebuild-on-compaction instead
+# (the inherited _on_compaction raising default *is* the contract).
+class MosaicIndex(SpatialIndex):  # ql: allow[QL002]
     """Incrementally built Octree (the paper's "Mosaic").
 
     Parameters
@@ -123,7 +126,9 @@ class MosaicIndex(SpatialIndex):
         offsets = np.concatenate(([0], np.cumsum(counts)))
         children: list[_Partition] = []
         for c in range(self._fanout):
-            offs = np.array([(c >> (d - 1 - k)) & 1 for k in range(d)])
+            offs = np.array(
+                [(c >> (d - 1 - k)) & 1 for k in range(d)], dtype=np.int64
+            )
             lo = np.where(offs == 1, mid, part.lo)
             hi = np.where(offs == 1, part.hi, mid)
             children.append(

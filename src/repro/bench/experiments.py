@@ -1529,7 +1529,8 @@ def rebalance_experiment(scale: Scale) -> ExperimentReport:
             )
             chunks.append(result)
             query_ms = np.array(
-                [t.seconds for t in result.timings if t.kind == "query"]
+                [t.seconds for t in result.timings if t.kind == "query"],
+                dtype=np.float64,
             ) * 1000.0
             all_query_ms.extend(query_ms.tolist())
             balance = engine.balance_factor()

@@ -60,7 +60,7 @@ class RunResult:
 
     def query_seconds(self) -> np.ndarray:
         """Per-query wall-clock seconds (the convergence series)."""
-        return np.array([t.seconds for t in self.timings])
+        return np.array([t.seconds for t in self.timings], dtype=np.float64)
 
     def cumulative_seconds(self, include_build: bool = True) -> np.ndarray:
         """Cumulative seconds after each query (the cumulative series)."""

@@ -51,7 +51,7 @@ def partition_order(
             mask = keys < bounds_arr[0]
             order = np.concatenate([np.flatnonzero(mask), np.flatnonzero(~mask)])
             left = int(mask.sum())
-            sizes = np.array([left, keys.size - left])
+            sizes = np.array([left, keys.size - left], dtype=np.int64)
             return order, sizes
         buckets = np.searchsorted(bounds_arr, keys, side="right")
         order = np.concatenate(

@@ -47,7 +47,7 @@ from repro.core.cracking import (
 )
 from repro.core.slices import Slice, SliceList
 from repro.datasets.store import BoxStore
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DatasetError, GeometryError
 from repro.index.base import MutableSpatialIndex
 from repro.queries.query import Query, QueryPlan, QueryResult
 from repro.updates.buffer import UpdateBuffer
@@ -346,9 +346,10 @@ class QuasiiIndex(MutableSpatialIndex):
         begin = self._store.n
         try:
             self._store.append_validated(lo, hi, ids)
-        except Exception:
+        except (DatasetError, GeometryError):
             # Never lose a staged batch: insert() pre-validates, so this
             # is a can't-happen guard, but re-stage before propagating.
+            # These are the only errors the store's append path raises.
             self._buffer.add(lo, hi, ids)
             raise
         self._seen_epoch = self._store.epoch
@@ -425,7 +426,11 @@ class QuasiiIndex(MutableSpatialIndex):
         return SliceList(
             0,
             self._str_slices(
-                0, begin, end, np.full(ndim, -_INF), np.full(ndim, _INF)
+                0,
+                begin,
+                end,
+                np.full(ndim, -_INF, dtype=np.float64),
+                np.full(ndim, _INF, dtype=np.float64),
             ),
         )
 
@@ -771,8 +776,8 @@ class QuasiiIndex(MutableSpatialIndex):
             begin,
             end,
             cut_lo,
-            np.full(ndim, -_INF),
-            np.full(ndim, _INF),
+            np.full(ndim, -_INF, dtype=np.float64),
+            np.full(ndim, _INF, dtype=np.float64),
         )
         self._maybe_finalize(node)
         return node

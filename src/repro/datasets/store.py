@@ -233,7 +233,7 @@ class BoxStore:
         """
         if self._max_extent is None:
             if self.n == 0:
-                self._max_extent = np.zeros(self.ndim)
+                self._max_extent = np.zeros(self.ndim, dtype=np.float64)
             else:
                 self._max_extent = (self._hi - self._lo).max(axis=0)
         return self._max_extent

@@ -37,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, QueryError
+from repro.index.base import IndexStats
 from repro.queries.query import Query, QueryResult, as_query
 from repro.queries.range_query import RangeQuery
 from repro.sharding.maintenance import MaintenancePolicy, MaintenanceScheduler
@@ -228,7 +229,7 @@ class QueryExecutor:
         out = self._run_batch(queries)
         if self._scheduler is not None:
             self._scheduler.after_ops(len(queries))
-        if tel is not None:
+        if tel is not None and before is not None:
             self._record_batch(tel, out, before)
         if (
             self._events is not None
@@ -238,7 +239,7 @@ class QueryExecutor:
         return out
 
     def _record_batch(
-        self, tel: Telemetry, out: BatchResult, before
+        self, tel: Telemetry, out: BatchResult, before: IndexStats
     ) -> None:
         """Flow one batch's timings and stats delta into the registry.
 
@@ -352,7 +353,9 @@ class QueryExecutor:
                 queues.setdefault(shard.sid, []).append(i)
         t_routed = time.perf_counter()
 
-        def work(shard: Shard, idxs: list[int]):
+        def work(
+            shard: Shard, idxs: list[int]
+        ) -> tuple[list[int], list[QueryResult], float]:
             # One task per shard per batch: the whole sub-batch goes
             # through the shard index's native execute_batch, so shard
             # indexes batch their own candidate matrices / merges.  Each

@@ -155,7 +155,7 @@ class WorkloadProfile:
     def centroids(self) -> np.ndarray:
         """The retained recent query centroids as a ``(m, d)`` matrix."""
         if not self._windows:
-            return np.empty((0, 0))
+            return np.empty((0, 0), dtype=np.float64)
         return np.stack([(lo + hi) * 0.5 for lo, hi in self._windows])
 
     def centroids_within(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:

@@ -77,8 +77,8 @@ class Shard:
             self.mbb_lo = np.asarray(bounds.lo, dtype=np.float64).copy()
             self.mbb_hi = np.asarray(bounds.hi, dtype=np.float64).copy()
         else:
-            self.mbb_lo = np.full(store.ndim, _INF)
-            self.mbb_hi = np.full(store.ndim, -_INF)
+            self.mbb_lo = np.full(store.ndim, _INF, dtype=np.float64)
+            self.mbb_hi = np.full(store.ndim, -_INF, dtype=np.float64)
 
     def expand(self, lo: np.ndarray, hi: np.ndarray) -> None:
         """Grow the MBB to cover an insert batch routed to this shard."""

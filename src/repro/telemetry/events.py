@@ -27,8 +27,11 @@ import json
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
+from types import TracebackType
+from typing import IO
 
 from repro.errors import ConfigurationError
 
@@ -52,7 +55,7 @@ EVENTS: dict[str, str] = {
 }
 
 
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """Coerce a payload value to JSON builtins (numpy scalars included)."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
@@ -104,7 +107,7 @@ class EventLog:
         self,
         capacity: int = 4096,
         sink: str | Path | None = None,
-        clock=time.time,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(
@@ -113,7 +116,7 @@ class EventLog:
         self.capacity = int(capacity)
         self._records: deque[EventRecord] = deque(maxlen=self.capacity)
         self._sink_path = Path(sink) if sink is not None else None
-        self._sink_file = None
+        self._sink_file: IO[str] | None = None
         self._clock = clock
         self._lock = threading.Lock()
         #: Total events emitted over the log's lifetime.
@@ -121,7 +124,7 @@ class EventLog:
         #: Events evicted from the in-memory ring (sink unaffected).
         self.dropped = 0
 
-    def emit(self, kind: str, **payload) -> EventRecord:
+    def emit(self, kind: str, **payload: object) -> EventRecord:
         """Record one event; returns the (sanitized, frozen) record."""
         record = EventRecord(
             kind=str(kind),
@@ -177,6 +180,11 @@ class EventLog:
     def __enter__(self) -> EventLog:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.close()
         return False

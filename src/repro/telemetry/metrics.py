@@ -28,9 +28,13 @@ keeps the two in sync.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any, TypeVar
 
 from repro.errors import ConfigurationError
+
+_Instrument = TypeVar("_Instrument", bound="Counter | Gauge | LatencyHistogram")
 
 __all__ = [
     "Counter",
@@ -256,7 +260,12 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | LatencyHistogram] = {}
 
-    def _get(self, name: str, kind: type, factory):
+    def _get(
+        self,
+        name: str,
+        kind: type[_Instrument],
+        factory: Callable[[], _Instrument],
+    ) -> _Instrument:
         inst = self._instruments.get(name)
         if inst is None:
             inst = factory()
@@ -276,7 +285,7 @@ class MetricsRegistry:
         """Get or create the gauge called ``name``."""
         return self._get(name, Gauge, Gauge)
 
-    def histogram(self, name: str, **kwargs) -> LatencyHistogram:
+    def histogram(self, name: str, **kwargs: Any) -> LatencyHistogram:
         """Get or create the histogram called ``name``."""
         return self._get(
             name, LatencyHistogram, lambda: LatencyHistogram(**kwargs)

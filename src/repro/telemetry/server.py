@@ -24,11 +24,17 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from types import TracebackType
+from typing import TYPE_CHECKING
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigurationError
 from repro.telemetry.events import EventLog
 from repro.telemetry.export import json_snapshot, registry_prometheus
+from repro.telemetry.tracer import Tracer
+
+if TYPE_CHECKING:  # circular at runtime: the package __init__ imports us
+    from repro.telemetry import Telemetry
 
 __all__ = ["ENDPOINTS", "MetricsServer"]
 
@@ -59,7 +65,9 @@ ENDPOINTS: dict[str, str] = {
 _DEFAULT_LIMIT = 256
 
 
-def _span_dicts(tracer, name: str | None, limit: int) -> list[dict]:
+def _span_dicts(
+    tracer: Tracer, name: str | None, limit: int
+) -> list[dict[str, object]]:
     records = tracer.spans(name)
     return [
         {
@@ -95,7 +103,7 @@ class MetricsServer:
 
     def __init__(
         self,
-        telemetry,
+        telemetry: Telemetry,
         host: str = "127.0.0.1",
         port: int = 0,
         events: EventLog | None = None,
@@ -143,7 +151,12 @@ class MetricsServer:
     def __enter__(self) -> MetricsServer:
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.stop()
         return False
 
@@ -160,7 +173,9 @@ class MetricsServer:
         return f"http://{self._host}:{self.port}"
 
     # -- request handling --------------------------------------------------
-    def _payload(self, path: str, query: dict) -> tuple[int, str, str]:
+    def _payload(
+        self, path: str, query: dict[str, str]
+    ) -> tuple[int, str, str]:
         """(status, content-type, body) for one GET; 404 off-vocabulary."""
         tel = self._telemetry
         if path == "/metrics":
@@ -208,7 +223,7 @@ class MetricsServer:
             f"unknown path {path!r}; endpoints: {known}\n"
         )
 
-    def _make_handler(self):
+    def _make_handler(self) -> type[BaseHTTPRequestHandler]:
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -219,7 +234,7 @@ class MetricsServer:
                 }
                 try:
                     status, ctype, body = server._payload(split.path, query)
-                except Exception as exc:  # never kill the serving loop
+                except Exception as exc:  # ql: allow[QL006] never kill the serving loop
                     status, ctype, body = (
                         500,
                         "text/plain; charset=utf-8",
@@ -232,7 +247,7 @@ class MetricsServer:
                 self.end_headers()
                 self.wfile.write(data)
 
-            def log_message(self, fmt, *args) -> None:
+            def log_message(self, fmt: str, *args: object) -> None:
                 pass  # scrapes must not spam the bench's stdout
 
         return Handler

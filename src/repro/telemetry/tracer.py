@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from types import TracebackType
 from dataclasses import dataclass, field
 
 from repro.telemetry.metrics import MetricsRegistry
@@ -57,7 +58,9 @@ class Span:
 
     __slots__ = ("_tracer", "name", "attrs", "_start", "_depth", "_parent")
 
-    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+    def __init__(
+        self, tracer: Tracer, name: str, attrs: dict[str, object]
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
@@ -65,7 +68,7 @@ class Span:
         self._depth = 0
         self._parent: str | None = None
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         """Attach attributes discovered while the span runs."""
         self.attrs.update(attrs)
 
@@ -77,7 +80,12 @@ class Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         seconds = time.perf_counter() - self._start
         self._tracer._stack().pop()
         self._tracer._finish(
@@ -98,13 +106,18 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         pass
 
     def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -154,7 +167,7 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, **attrs) -> Span | _NullSpan:
+    def span(self, name: str, **attrs: object) -> Span | _NullSpan:
         """A context-manager span named ``name`` (no-op when disabled)."""
         if not self.enabled:
             return _NULL_SPAN

@@ -16,7 +16,6 @@ from repro.baselines import (
     RTreeIndex,
     SFCIndex,
     SFCrackerIndex,
-    ScanIndex,
     UniformGridIndex,
 )
 from repro.core import QuasiiIndex

@@ -7,12 +7,11 @@ aggregate.  These are the mechanisms behind the paper's Figures 7–9.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.baselines import MosaicIndex, RTreeIndex, SFCrackerIndex
 from repro.core import QuasiiIndex
-from repro.queries import RangeQuery, clustered_workload, uniform_workload
+from repro.queries import clustered_workload
 
 
 @pytest.fixture(scope="module")

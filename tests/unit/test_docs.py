@@ -28,3 +28,7 @@ def test_cli_help_lists_every_experiment():
 
 def test_observability_vocabulary_is_documented_both_ways():
     assert check_docs.check_observability_docs() == []
+
+
+def test_lint_rule_table_matches_the_registry_both_ways():
+    assert check_docs.check_analysis_docs() == []

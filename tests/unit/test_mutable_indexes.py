@@ -13,7 +13,7 @@ import pytest
 
 from repro.baselines import RTreeIndex, ScanIndex, UniformGridIndex
 from repro.core import QuasiiConfig, QuasiiIndex
-from repro.datasets import BoxStore, make_uniform
+from repro.datasets import BoxStore
 from repro.errors import ConfigurationError, QueryError
 from repro.geometry import Box
 from repro.queries import RangeQuery

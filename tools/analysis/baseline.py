@@ -1,0 +1,86 @@
+"""Baseline file: pre-existing findings that do not block CI.
+
+The baseline is a committed JSON file holding a sorted list of finding
+*fingerprints* (line-number-free, so unrelated edits do not invalidate
+entries).  A run partitions findings into:
+
+* **new** — findings whose fingerprint is not covered by the baseline
+  (fail the run; fix them or, for sanctioned cases, pragma them),
+* **baselined** — covered findings (reported, never failing),
+* **stale** — baseline entries matching no current finding (fail the
+  run: the baseline must stay *exact*, so it can only ever shrink —
+  run ``--update-baseline`` after fixing a baselined finding).
+
+Fingerprints are matched as a multiset: two identical violations in the
+same function need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = ["Baseline", "BaselineDiff"]
+
+
+@dataclass
+class BaselineDiff:
+    """Findings partitioned against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+
+    @property
+    def blocking(self) -> bool:
+        return bool(self.new or self.stale)
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    VERSION = 1
+
+    def __init__(self, fingerprints: list[str] | None = None) -> None:
+        self.fingerprints = sorted(fingerprints or [])
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.is_file():
+            return cls([])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "fingerprints" not in data:
+            raise ValueError(f"{path}: not a quasii-lint baseline file")
+        return cls(list(data["fingerprints"]))
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "format": "quasii-lint-baseline",
+            "version": self.VERSION,
+            "fingerprints": self.fingerprints,
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls([finding.fingerprint for finding in findings])
+
+    def diff(self, findings: list[Finding]) -> BaselineDiff:
+        """Partition ``findings``; multiset semantics per fingerprint."""
+        remaining = Counter(self.fingerprints)
+        diff = BaselineDiff()
+        for finding in findings:
+            if remaining[finding.fingerprint] > 0:
+                remaining[finding.fingerprint] -= 1
+                diff.baselined.append(finding)
+            else:
+                diff.new.append(finding)
+        diff.stale = sorted(remaining.elements())
+        return diff

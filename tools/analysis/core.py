@@ -1,0 +1,434 @@
+"""Analysis substrate: source loading, the repo index, findings, pragmas.
+
+Everything here is rule-agnostic.  A :class:`RepoIndex` is built once
+per run by parsing every ``*.py`` under the scan root with :mod:`ast`
+and recording, per module: classes (with their bases, methods, and the
+instance attributes their methods assign), module-level functions, and
+nested functions (closures) with their full qualname chain.  Rules
+receive the index plus an :class:`AnalysisConfig` and return
+:class:`Finding` lists; :func:`analyze` applies inline-pragma
+suppression and returns the surviving findings sorted by location.
+
+Fingerprints deliberately exclude line numbers — a baseline entry must
+survive unrelated edits above the finding — and are matched as a
+*multiset* (two identical violations in one function need two baseline
+entries).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "AnalysisConfig",
+    "ClassInfo",
+    "FunctionInfo",
+    "Finding",
+    "RepoIndex",
+    "SourceFile",
+    "analyze",
+    "iter_with_stack",
+    "lock_guarded",
+    "self_assign_targets",
+]
+
+#: Inline suppression: ``# ql: allow[QL004]`` or ``# ql: allow[QL001, QL003]``
+#: or ``# ql: allow[*]``; anywhere on the flagged line.
+_PRAGMA = re.compile(r"#\s*ql:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # scan-root-relative posix path
+    line: int
+    col: int
+    symbol: str  # "module:Class.method" context ("" at module level)
+    message: str
+    tag: str  # stable detail key; part of the fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.rule}|{self.path}|{self.symbol}|{self.tag}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class SourceFile:
+    """One parsed module."""
+
+    path: Path
+    rel: str  # posix path relative to the scan root
+    module: str  # dotted module name relative to the scan root
+    text: str
+    tree: ast.Module
+    #: line number -> rule ids allowed there ("*" allows everything).
+    pragmas: dict[int, set[str]] = field(default_factory=dict)
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        allowed = self.pragmas.get(line)
+        return bool(allowed) and (rule_id in allowed or "*" in allowed)
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method definition (nested functions included)."""
+
+    name: str
+    qualname: str  # e.g. "QueryExecutor._run_parallel.work"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    file: SourceFile
+    cls: "ClassInfo | None" = None  # owning class for methods
+
+    @property
+    def symbol(self) -> str:
+        return f"{self.file.module}:{self.qualname}"
+
+
+@dataclass
+class ClassInfo:
+    """A class definition plus what rules need to know about it."""
+
+    name: str
+    qualname: str
+    node: ast.ClassDef
+    file: SourceFile
+    bases: list[str] = field(default_factory=list)  # last dotted segment
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Instance attributes assigned via ``self.X = ...`` in any method.
+    own_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def symbol(self) -> str:
+        return f"{self.file.module}:{self.qualname}"
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Repo-specific knowledge the rules run against.
+
+    The defaults describe ``src/repro``; fixture tests override fields
+    to build minimal violating worlds.  Every allowlist here is a
+    *documented discipline statement*, not a convenience: QL003's
+    ``affine`` sets, for instance, are exactly the classes whose
+    instances the executor guarantees are touched by a single thread
+    per batch (see docs/ANALYSIS.md).
+    """
+
+    # QL001 -- mutation discipline
+    store_class: str = "BoxStore"
+    store_private_attrs: frozenset[str] = frozenset(
+        {
+            "_lo",
+            "_hi",
+            "_ids",
+            "_live",
+            "_n_dead",
+            "_epoch",
+            "_max_extent",
+            "_next_id",
+            "_staged",
+        }
+    )
+    # QL002 -- compaction discipline
+    compaction_base: str = "SpatialIndex"
+    compaction_hooks: frozenset[str] = frozenset(
+        {"on_compaction", "_on_compaction"}
+    )
+    #: Instance attrs that do not constitute position-bearing state.
+    compaction_state_ok: frozenset[str] = frozenset(
+        {"stats", "build_work", "name", "_built", "_seen_epoch", "_store"}
+    )
+    # QL003 -- parallel-path purity
+    parallel_method: str = "_run_parallel"
+    parallel_worker: str = "work"
+    #: Class-ancestry roots whose instances are shard-affine (touched by
+    #: at most one worker thread per batch, by executor construction).
+    affine_roots: frozenset[str] = frozenset(
+        {"SpatialIndex", "BoxStore", "UpdateBuffer", "Partitioner"}
+    )
+    #: Additional single-writer classes: per-shard owned structures
+    #: (Slice forests, R-Tree nodes) or coordinator-only state that the
+    #: executor mutates exclusively on the routing/merging thread
+    #: (profiles, partitioner cursors, the telemetry histograms the
+    #: coordinator records after joining the pool).  Extending this set
+    #: is a reviewed concurrency-discipline statement — see
+    #: docs/ANALYSIS.md.
+    affine_classes: frozenset[str] = frozenset(
+        {
+            "Slice",
+            "SliceList",
+            "Shard",
+            "IndexStats",
+            "WorkloadProfile",
+            "GuttmanRTree",
+            "RTreeNode",
+            "LatencyHistogram",
+        }
+    )
+    # QL004 -- dtype discipline
+    numpy_aliases: frozenset[str] = frozenset({"np", "numpy"})
+    numpy_allocators: frozenset[str] = frozenset(
+        {"zeros", "empty", "full", "array"}
+    )
+    # QL005 -- telemetry vocabulary
+    vocab_calls: frozenset[str] = frozenset(
+        {"histogram", "counter", "gauge", "span", "emit"}
+    )
+    #: Canonical metric/span/event names; ``None`` skips QL005 (the CLI
+    #: always supplies the live vocabulary via :mod:`analysis.vocab`).
+    vocab: frozenset[str] | None = None
+    # QL006 -- exception discipline
+    broad_exceptions: frozenset[str] = frozenset(
+        {"Exception", "BaseException"}
+    )
+
+    def with_vocab(self, names: Iterable[str]) -> "AnalysisConfig":
+        return replace(self, vocab=frozenset(names))
+
+
+# ---------------------------------------------------------------------------
+# Index construction
+# ---------------------------------------------------------------------------
+class RepoIndex:
+    """Parsed view of every module under one scan root."""
+
+    def __init__(self, root: Path, files: list[SourceFile]) -> None:
+        self.root = root
+        self.files = files
+        self.classes: list[ClassInfo] = []
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        self.functions: list[FunctionInfo] = []
+        self.module_functions_by_name: dict[str, list[FunctionInfo]] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        for source in files:
+            self._index_file(source)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(cls, root: Path) -> "RepoIndex":
+        root = Path(root).resolve()
+        files = []
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            text = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as exc:  # unparseable file is itself a defect
+                raise SyntaxError(f"{rel}: {exc}") from exc
+            module = rel[:-3].replace("/", ".")
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            source = SourceFile(
+                path=path, rel=rel, module=module, text=text, tree=tree
+            )
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                match = _PRAGMA.search(line)
+                if match:
+                    ids = {
+                        part.strip()
+                        for part in match.group(1).split(",")
+                        if part.strip()
+                    }
+                    source.pragmas[lineno] = ids
+            files.append(source)
+        return cls(root, files)
+
+    def _index_file(self, source: SourceFile) -> None:
+        def visit(node: ast.AST, qual: list[str], cls: ClassInfo | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    info = ClassInfo(
+                        name=child.name,
+                        qualname=".".join([*qual, child.name]),
+                        node=child,
+                        file=source,
+                        bases=[_last_segment(b) for b in child.bases],
+                    )
+                    self.classes.append(info)
+                    self.classes_by_name.setdefault(child.name, []).append(info)
+                    visit(child, [*qual, child.name], info)
+                elif isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    owner = cls if isinstance(node, ast.ClassDef) else None
+                    fn = FunctionInfo(
+                        name=child.name,
+                        qualname=".".join([*qual, child.name]),
+                        node=child,
+                        file=source,
+                        cls=owner,
+                    )
+                    self.functions.append(fn)
+                    if owner is not None:
+                        owner.methods.setdefault(child.name, fn)
+                        owner.own_attrs.update(self_assign_targets(child))
+                        self.methods_by_name.setdefault(
+                            child.name, []
+                        ).append(fn)
+                    else:
+                        self.module_functions_by_name.setdefault(
+                            child.name, []
+                        ).append(fn)
+                    # Functions nested inside this one keep the chain but
+                    # never belong to the class namespace.
+                    visit(child, [*qual, child.name], None)
+
+        visit(source.tree, [], None)
+
+    # -- class relations ------------------------------------------------
+    def ancestry(self, cls: ClassInfo) -> set[str]:
+        """Transitive base-class *names*, repo-local where resolvable.
+
+        Unresolvable bases (stdlib, numpy) contribute their name only.
+        """
+        seen: set[str] = set()
+        queue = list(cls.bases)
+        while queue:
+            base = queue.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            for info in self.classes_by_name.get(base, []):
+                queue.extend(info.bases)
+        return seen
+
+    def has_ancestor(self, cls: ClassInfo, names: frozenset[str]) -> bool:
+        return cls.name in names or bool(self.ancestry(cls) & names)
+
+
+def _last_segment(node: ast.expr) -> str:
+    """``abc.ABC`` -> ``ABC``; ``SpatialIndex`` -> ``SpatialIndex``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):  # Generic[...] bases
+        return _last_segment(node.value)
+    return ""
+
+
+def self_assign_targets(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Attribute names assigned on ``self`` anywhere in ``fn``'s body.
+
+    Covers plain/annotated/augmented assignment plus the frozen-
+    dataclass idiom ``object.__setattr__(self, "attr", value)``.
+    """
+    attrs: set[str] = set()
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "self"
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                attrs.add(node.args[1].value)
+        for target in targets:
+            for leaf in _flatten_targets(target):
+                if (
+                    isinstance(leaf, ast.Attribute)
+                    and isinstance(leaf.value, ast.Name)
+                    and leaf.value.id == "self"
+                ):
+                    attrs.add(leaf.attr)
+    return attrs
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target
+
+
+def iter_with_stack(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.AST, list[ast.With]]]:
+    """Yield ``(node, enclosing-with-statements)`` for ``fn``'s body.
+
+    Nested function definitions are traversed too (their ``with`` stacks
+    restart, matching runtime scoping closely enough for lock checks).
+    """
+
+    def walk(node: ast.AST, stack: list[ast.With]) -> Iterator[
+        tuple[ast.AST, list[ast.With]]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            yield child, stack
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                yield from walk(child, [*stack, child])  # type: ignore[list-item]
+            else:
+                yield from walk(child, stack)
+
+    yield from walk(fn, [])
+
+
+def lock_guarded(stack: list[ast.With]) -> bool:
+    """True when any enclosing ``with`` context mentions a lock."""
+    for stmt in stack:
+        for item in stmt.items:
+            for node in ast.walk(item.context_expr):
+                if isinstance(node, ast.Attribute) and "lock" in node.attr.lower():
+                    return True
+                if isinstance(node, ast.Name) and "lock" in node.id.lower():
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def analyze(
+    root: Path | str,
+    config: AnalysisConfig | None = None,
+    rules: Iterable[object] | None = None,
+) -> list[Finding]:
+    """Run rules over every module under ``root``; pragma-suppressed.
+
+    ``rules`` defaults to the full registry.  Findings come back sorted
+    by ``(path, line, rule)``.
+    """
+    from .rules import all_rules
+
+    config = config or AnalysisConfig()
+    index = RepoIndex.build(Path(root))
+    findings: list[Finding] = []
+    by_rel = {source.rel: source for source in index.files}
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.run(index, config):
+            source = by_rel.get(finding.path)
+            if source is not None and source.allows(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.tag))
+    return findings

@@ -1,0 +1,79 @@
+"""QL002: compaction discipline.
+
+``BoxStore.compact()`` is the one mutation that invalidates physical
+row positions; it returns an old->new remap that every index holding
+derived state must absorb via ``on_compaction``/``_on_compaction``.
+An index subclass that keeps *any* instance state beyond the bookkeeping
+the base class owns (``stats``, ``_built``, ``_seen_epoch``, ...) is
+presumed to hold positions (row vectors, CSR arrays, slice ranges,
+cached candidate buffers) and must either override a compaction hook —
+its own or a repo-local ancestor's — or carry an explicit
+``# ql: allow[QL002]`` pragma documenting why the raising base default
+is its contract (an index that genuinely cannot absorb compactions,
+e.g. Mosaic, fails loudly by design).
+"""
+
+from __future__ import annotations
+
+from ..core import AnalysisConfig, ClassInfo, Finding, RepoIndex
+from . import register
+
+
+@register
+class CompactionDiscipline:
+    id = "QL002"
+    title = "stateful index subclasses override on_compaction"
+
+    def run(
+        self, index: RepoIndex, config: AnalysisConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        base = config.compaction_base
+        for cls in index.classes:
+            if cls.name == base:
+                continue
+            ancestry = index.ancestry(cls)
+            if base not in ancestry:
+                continue
+            state = cls.own_attrs - config.compaction_state_ok
+            if not state:
+                continue
+            if self._overrides_hook(index, cls, config):
+                continue
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    path=cls.file.rel,
+                    line=cls.node.lineno,
+                    col=cls.node.col_offset,
+                    symbol=cls.symbol,
+                    message=(
+                        f"{cls.name} stores instance state "
+                        f"({', '.join(sorted(state)[:4])}, ...) but never "
+                        "overrides on_compaction/_on_compaction; row "
+                        "positions held across a store compaction go "
+                        "stale silently"
+                    ),
+                    tag=cls.name,
+                )
+            )
+        return findings
+
+    def _overrides_hook(
+        self, index: RepoIndex, cls: ClassInfo, config: AnalysisConfig
+    ) -> bool:
+        """The class or a repo-local non-root ancestor defines a hook."""
+        queue = [cls]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if current.name in (config.compaction_base, "MutableSpatialIndex"):
+                continue  # the raising default does not count
+            if config.compaction_hooks & current.methods.keys():
+                return True
+            for name in current.bases:
+                queue.extend(index.classes_by_name.get(name, []))
+        return False

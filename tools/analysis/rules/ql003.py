@@ -1,0 +1,137 @@
+"""QL003: parallel-path purity.
+
+``QueryExecutor._run_parallel`` fans a batch out on a thread pool; the
+``work()`` closure is the only code that runs off the coordinating
+thread.  The concurrency discipline that keeps this safe is
+*single-writer*: a shard's index/store/buffer state is touched by at
+most one worker per batch (shard affinity), coordinator-owned state
+(profiles, schedulers, stats merging) is only mutated on the
+coordinating thread, and anything genuinely shared across workers must
+hold a lock (today only ``EventLog`` does).
+
+This rule machine-checks the worker side of that contract: it walks a
+name-based over-approximation of the call graph rooted at ``work()``
+and flags any reachable *method* of a non-shard-affine class that
+assigns ``self.*`` state outside a ``with <lock>:`` block.  The
+shard-affine sets in :class:`AnalysisConfig` (``affine_roots`` /
+``affine_classes``) are the discipline's explicit allowlist — extending
+them is a reviewed statement that the executor guarantees
+single-threaded access to that class's instances.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import (
+    AnalysisConfig,
+    Finding,
+    FunctionInfo,
+    RepoIndex,
+    iter_with_stack,
+    lock_guarded,
+)
+from . import register
+
+
+@register
+class ParallelPurity:
+    id = "QL003"
+    title = "the parallel work() path only mutates lock-guarded or shard-affine state"
+
+    def run(
+        self, index: RepoIndex, config: AnalysisConfig
+    ) -> list[Finding]:
+        seeds = [
+            fn
+            for fn in index.functions
+            if fn.name == config.parallel_worker
+            and f".{config.parallel_method}." in f".{fn.qualname}."
+        ]
+        if not seeds:
+            return []
+        reachable = self._reachable(index, seeds)
+        findings: list[Finding] = []
+        for fn in reachable:
+            cls = fn.cls
+            if cls is None:
+                continue  # plain functions have no self state
+            if cls.name in config.affine_classes or index.has_ancestor(
+                cls, config.affine_roots
+            ):
+                continue
+            for node, stack in iter_with_stack(fn.node):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    attr = _self_rooted_attr(target)
+                    if attr is None or lock_guarded(stack):
+                        continue
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=fn.file.rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            symbol=fn.symbol,
+                            message=(
+                                f"{cls.name}.{fn.name} is reachable from "
+                                "the parallel work() path and assigns "
+                                f"self.{attr} without a lock; shared state "
+                                "on the fan-out path must be lock-guarded "
+                                "or the class allowlisted as shard-affine"
+                            ),
+                            tag=f"{cls.name}.{fn.name}.{attr}",
+                        )
+                    )
+        return findings
+
+    def _reachable(
+        self, index: RepoIndex, seeds: list[FunctionInfo]
+    ) -> list[FunctionInfo]:
+        """Name-resolved transitive closure of calls from the seeds.
+
+        ``x.m(...)`` resolves to every repo method *and* module function
+        named ``m``; ``f(...)`` to every module function named ``f``.
+        A deliberate over-approximation: soundness beats precision here,
+        and false reach only matters if the falsely-reached method also
+        mutates unguarded shared state — which is exactly what a human
+        should then look at.
+        """
+        queue = list(seeds)
+        visited: dict[int, FunctionInfo] = {id(fn.node): fn for fn in seeds}
+        while queue:
+            fn = queue.pop()
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                targets: list[FunctionInfo] = []
+                if isinstance(callee, ast.Attribute):
+                    targets = index.methods_by_name.get(callee.attr, [])
+                    targets = targets + index.module_functions_by_name.get(
+                        callee.attr, []
+                    )
+                elif isinstance(callee, ast.Name):
+                    targets = index.module_functions_by_name.get(callee.id, [])
+                for target in targets:
+                    if id(target.node) not in visited:
+                        visited[id(target.node)] = target
+                        queue.append(target)
+        return list(visited.values())
+
+
+def _self_rooted_attr(target: ast.expr) -> str | None:
+    """``self.x`` / ``self.a.b`` / ``self.x[i]`` -> outermost attr name."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        parent = node.value
+        if isinstance(node, ast.Attribute) and isinstance(parent, ast.Name):
+            if parent.id == "self":
+                return node.attr
+            return None
+        node = parent
+    return None

@@ -1,0 +1,73 @@
+"""QL004: dtype discipline.
+
+Every ``np.zeros/empty/full/array`` allocation must pass an explicit
+``dtype=``.  Default dtypes are platform- and input-dependent —
+``np.array([ids...])`` silently yields float64 above 2**53 and collides
+identifiers (the int64 fingerprint bug of PR 3), int defaults differ
+between Windows and Linux, and an unintended float64 doubles memory on
+index-position arrays.  Spelling the dtype is free and makes the
+contract reviewable at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import AnalysisConfig, Finding, RepoIndex
+from . import register
+
+
+@register
+class DtypeDiscipline:
+    id = "QL004"
+    title = "numpy allocations pass an explicit dtype"
+
+    def run(
+        self, index: RepoIndex, config: AnalysisConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in index.files:
+            module_symbol = f"{source.module}:"
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in config.numpy_allocators
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in config.numpy_aliases
+                ):
+                    continue
+                if any(kw.arg == "dtype" for kw in node.keywords):
+                    continue
+                # Positional dtype: 2nd arg for array/zeros/empty,
+                # 3rd for full (shape, fill_value, dtype).
+                dtype_position = 3 if func.attr == "full" else 2
+                if len(node.args) >= dtype_position:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=source.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        symbol=module_symbol,
+                        message=(
+                            f"np.{func.attr}(...) without an explicit "
+                            "dtype=; default dtypes are input- and "
+                            "platform-dependent"
+                        ),
+                        tag=f"np.{func.attr}@{_context_snippet(node)}",
+                    )
+                )
+        return findings
+
+
+def _context_snippet(node: ast.Call) -> str:
+    """A short, line-number-free identity for the call site."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        text = "<call>"
+    return text[:60]

@@ -1,0 +1,80 @@
+"""QL006: exception discipline.
+
+A bare ``except:`` or ``except Exception:`` swallows programming errors
+(``TypeError``, ``AttributeError``) along with the library's own
+:class:`ReproError` hierarchy, turning a bug into silent data loss.
+The repo's exception hierarchy exists precisely so call sites can catch
+``ReproError`` (or a specific subclass) and let everything else
+propagate.  The one sanctioned broad except is the metrics server's
+documented never-die serving loop (``telemetry/server.py``), which
+carries an inline ``# ql: allow[QL006]`` pragma — any new broad except
+needs the same explicit, reviewable opt-out.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import AnalysisConfig, Finding, RepoIndex
+from . import register
+
+
+@register
+class ExceptionDiscipline:
+    id = "QL006"
+    title = "no bare or over-broad except clauses"
+
+    def run(
+        self, index: RepoIndex, config: AnalysisConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in index.files:
+            # Map handlers to their tightest enclosing function for a
+            # stable fingerprint symbol.
+            symbol_of = {}
+            for node in ast.walk(source.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for child in ast.walk(node):
+                        if isinstance(child, ast.ExceptHandler):
+                            symbol_of[id(child)] = node.name
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                broad = self._broad_name(node.type, config)
+                if broad is None:
+                    continue
+                scope = symbol_of.get(id(node), "")
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=source.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        symbol=f"{source.module}:{scope}",
+                        message=(
+                            f"over-broad 'except {broad}'; catch the "
+                            "specific ReproError subclass (or re-raise "
+                            "with context), or pragma the documented "
+                            "never-die loops"
+                        ),
+                        tag=f"{scope}:except-{broad}",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _broad_name(
+        type_node: ast.expr | None, config: AnalysisConfig
+    ) -> str | None:
+        if type_node is None:
+            return "<bare>"
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        for candidate in candidates:
+            if (
+                isinstance(candidate, ast.Name)
+                and candidate.id in config.broad_exceptions
+            ):
+                return candidate.id
+        return None

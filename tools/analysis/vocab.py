@@ -1,0 +1,29 @@
+"""Load the live telemetry vocabulary for QL005.
+
+The canonical names live in the engine itself
+(``repro.telemetry.naming.METRICS``/``SPANS`` and
+``repro.telemetry.events.EVENTS``), so the lint imports them rather
+than re-parsing — the vocabulary the rule enforces is by construction
+the one ``tools/check_docs.py`` already proves matches the docs.
+Registry-backed tracers also auto-create one ``span.<name>`` histogram
+per span, so those derived names are part of the vocabulary too.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+__all__ = ["load_repo_vocab"]
+
+
+def load_repo_vocab(repo_root: Path | str) -> frozenset[str]:
+    """The canonical metric/span/event name set of this repository."""
+    src = str(Path(repo_root) / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.telemetry.events import EVENTS
+    from repro.telemetry.naming import METRICS, SPANS
+
+    derived = {f"span.{name}" for name in SPANS}
+    return frozenset(METRICS) | frozenset(SPANS) | frozenset(EVENTS) | derived

@@ -20,6 +20,10 @@ Four checks, all filesystem/CLI-only:
 5. **HTTP endpoints documented** — the endpoint table in
    ``docs/OBSERVABILITY.md`` matches
    ``repro.telemetry.server.ENDPOINTS`` in both directions.
+6. **Lint rules documented** — the rule table in ``docs/ANALYSIS.md``
+   matches the ``tools/analysis`` rule registry in both directions, so
+   a quasii-lint rule cannot ship undocumented and a doc row cannot
+   outlive its rule.
 
 Exit status 0 when everything holds; 1 with a per-problem report
 otherwise.  Run from the repository root::
@@ -38,6 +42,7 @@ REPO = Path(__file__).resolve().parent.parent
 #: Markdown files whose relative links must resolve.
 LINKED_DOCS = [
     "README.md",
+    "docs/ANALYSIS.md",
     "docs/ARCHITECTURE.md",
     "docs/BENCH.md",
     "docs/OBSERVABILITY.md",
@@ -52,6 +57,8 @@ _VERB_ROW = re.compile(r"^\| `([a-z0-9-]+)` \|", re.MULTILINE)
 _NAME_ROW = re.compile(r"^\| `([a-z0-9_.]+)` \|", re.MULTILINE)
 #: Endpoint paths start with a slash, so neither charset above sees them.
 _ENDPOINT_ROW = re.compile(r"^\| `(/[a-z0-9_./-]*)` \|", re.MULTILINE)
+#: Lint rule ids are uppercase, disjoint from every charset above.
+_RULE_ROW = re.compile(r"^\| `(QL\d{3})` \|", re.MULTILINE)
 
 
 def check_links() -> list[str]:
@@ -156,12 +163,39 @@ def check_observability_docs() -> list[str]:
     return problems
 
 
+def check_analysis_docs() -> list[str]:
+    """docs/ANALYSIS.md's rule table must match the lint registry.
+
+    ``tools/analysis`` is importable as the top-level ``analysis``
+    package because this script's own directory (``tools/``) is on
+    ``sys.path`` — both when run as a script and via the test suite's
+    explicit insert.
+    """
+    from analysis.rules import RULES
+
+    analysis_md = REPO / "docs" / "ANALYSIS.md"
+    if not analysis_md.is_file():
+        return ["docs/ANALYSIS.md: file missing"]
+    documented = set(_RULE_ROW.findall(analysis_md.read_text(encoding="utf-8")))
+    problems = []
+    for rule_id in sorted(set(RULES) - documented):
+        problems.append(
+            f"docs/ANALYSIS.md: lint rule {rule_id!r} is not documented"
+        )
+    for rule_id in sorted(documented - set(RULES)):
+        problems.append(
+            f"docs/ANALYSIS.md: documents unknown lint rule {rule_id!r}"
+        )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_links()
         + check_bench_docs()
         + check_cli_help()
         + check_observability_docs()
+        + check_analysis_docs()
     )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
@@ -169,8 +203,9 @@ def main() -> int:
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
         return 1
     print(
-        "docs-check: README/docs links, BENCH.md verbs, CLI help, and "
-        "OBSERVABILITY.md metric/span/event/endpoint tables all consistent"
+        "docs-check: README/docs links, BENCH.md verbs, CLI help, "
+        "OBSERVABILITY.md metric/span/event/endpoint tables, and the "
+        "ANALYSIS.md lint-rule table all consistent"
     )
     return 0
 
