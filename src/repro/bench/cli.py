@@ -12,6 +12,8 @@ Examples::
     quasii-bench rebalance                # shard rebalancing vs static STR
     quasii-bench soak --smoke             # latency-over-time serving soak
     quasii-bench soak --smoke --serve-metrics 9464  # + live /metrics endpoint
+    quasii-bench soak --smoke --chaos     # + replica kills, oracle-verified
+    quasii-bench replication --smoke      # replicated serving + mid-run kill
     quasii-bench report                   # trajectory from saved BENCH_*.json
     quasii-bench diff --json-out bench-results      # regression gate vs baseline
     quasii-bench all --scale small        # every figure at default scale
@@ -117,6 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 = ephemeral)"
         ),
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "soak only: serve from replicated shards, kill a replica every "
+            "scale.soak_chaos_every ops (self-healing by ledger replay), "
+            "and verify every query against a Scan oracle"
+        ),
+    )
     diff_group = parser.add_argument_group("diff verb")
     diff_group.add_argument(
         "--baseline",
@@ -215,12 +226,13 @@ def main(argv: list[str] | None = None) -> int:
     chunks: list[str] = []
     for name in names:
         # Per-verb extras ride through run_experiment's kwargs; only the
-        # soak knows how to serve live metrics mid-run.
-        kwargs = (
-            {"serve_metrics": args.serve_metrics}
-            if name == "soak" and args.serve_metrics is not None
-            else {}
-        )
+        # soak knows how to serve live metrics mid-run or inject chaos.
+        kwargs: dict = {}
+        if name == "soak":
+            if args.serve_metrics is not None:
+                kwargs["serve_metrics"] = args.serve_metrics
+            if args.chaos:
+                kwargs["chaos"] = True
         t0 = time.perf_counter()
         report = run_experiment(name, scale, **kwargs)
         elapsed = time.perf_counter() - t0

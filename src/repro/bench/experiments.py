@@ -55,7 +55,15 @@ from repro.queries import (
     sequential_workload,
     uniform_workload,
 )
-from repro.sharding import MaintenancePolicy, QueryExecutor, ShardedIndex
+from repro.sharding import (
+    Fault,
+    FaultInjector,
+    MaintenancePolicy,
+    QueryExecutor,
+    ReplicatedShardedIndex,
+    ShardedIndex,
+)
+from repro.telemetry import EventLog
 from repro.updates import MixedRunResult, run_mixed_workload
 
 
@@ -114,6 +122,13 @@ class Scale:
     soak_delete_every: int = 25         # ops between delete storms
     soak_delete_batch: int = 2000       # rows tombstoned per storm
     soak_slow_ms: float = 10.0          # slow-query event threshold (ms)
+    # Chaos mode (soak --chaos): periodic replica kills with self-healing.
+    soak_chaos_every: int = 150         # executed ops between replica kills
+    soak_chaos_replication: int = 2     # replicas per shard under chaos
+    # Replication experiment (replicated serving + mid-run kill):
+    replication_factors: tuple[int, ...] = (1, 2, 3)  # R sweep
+    replication_queries: int = 600      # queries per R configuration
+    replication_insert_batch: int = 64  # post-kill ingest before recovery
     seed: int = 7
 
 
@@ -150,6 +165,10 @@ SCALES: dict[str, Scale] = {
         # Low enough that even a smoke soak logs a handful of slow-query
         # events, so the report's slowest-queries table is exercised.
         soak_slow_ms=1.0,
+        # Frequent enough that a 4 s chaos smoke sees several kills.
+        soak_chaos_every=60,
+        replication_queries=200,
+        replication_insert_batch=32,
     ),
     # Default: large enough that build-vs-query cost ratios have the
     # paper's sign (see EXPERIMENTS.md for the calibration discussion).
@@ -1643,6 +1662,226 @@ def rebalance_experiment(scale: Scale) -> ExperimentReport:
 
 
 # ----------------------------------------------------------------------
+# Replicated serving (replication subsystem; beyond the paper)
+# ----------------------------------------------------------------------
+def replication_experiment(scale: Scale) -> ExperimentReport:
+    """Replicated shard serving across R, with a deterministic mid-run kill.
+
+    One batch of small uniform queries runs at every replication factor
+    in ``scale.replication_factors`` (R=1 is the unreplicated baseline),
+    each over a fresh copy of the dataset.  Then the largest R repeats
+    the batch with a :class:`FaultInjector` killing shard 0's primary
+    replica halfway through: results must stay identical to the
+    unfaulted run (failover, not data loss), and the corpse is brought
+    back by ledger replay after a post-kill ingestion burst — proving
+    the recovery path replays *missed* writes, not just the base
+    snapshot.  The regression gate tracks p99 with and without the kill.
+    """
+    report = ExperimentReport(
+        "replication",
+        "Replicated shard serving: throughput and tail latency across "
+        "replication factors R, plus a deterministic mid-run replica "
+        "kill with failover and ledger-replay recovery",
+    )
+    ds = _uniform(scale, min(scale.rebalance_n, scale.uniform_n))
+    queries = uniform_workload(
+        ds.universe, scale.replication_queries, scale.shard_fraction,
+        seed=scale.seed + 31,
+    )
+    n_shards = max(scale.shard_counts)
+    kill_at = max(2, len(queries) // 2)
+    factors = sorted(set(scale.replication_factors))
+
+    def run_batch(replication: int, kill: bool):
+        events = EventLog()
+        engine = ReplicatedShardedIndex(
+            ds.store.copy(),
+            n_shards=n_shards,
+            replication=replication,
+            partitioner="str",
+            events=events,
+        )
+        t0 = time.perf_counter()
+        engine.build()
+        build_seconds = time.perf_counter() - t0
+        if kill:
+            engine.attach_fault_injector(
+                FaultInjector(
+                    [Fault(at_op=kill_at, action="kill", sid=0, rid=0)]
+                )
+            )
+        # Serve in executor mini-batches (the soak's serving pattern):
+        # per-query seconds are equal-share within one batch, so tail
+        # percentiles are only meaningful across many small batches.
+        executor = QueryExecutor(engine, max_workers=2)
+        results: list[np.ndarray] = []
+        lat_s: list[float] = []
+        seconds = 0.0
+        for start in range(0, len(queries), 16):
+            batch = executor.run(queries[start:start + 16])
+            seconds += batch.seconds
+            results.extend(batch.results)
+            lat_s.extend(r.seconds for r in batch.query_results)
+        lat_ms = np.asarray(lat_s, dtype=np.float64) * 1e3
+        qps = len(queries) / seconds if seconds > 0 else 0.0
+        return engine, events, results, build_seconds, lat_ms, seconds, qps
+
+    rows: list[list[object]] = []
+    stats: dict[int, dict[str, float]] = {}
+    results: dict[int, list[np.ndarray]] = {}
+    for replication in factors:
+        engine, _, run_results, build_seconds, lat_ms, seconds, qps = (
+            run_batch(replication, kill=False)
+        )
+        memory_mb = sum(s.memory_bytes() for s in engine.shards) / 1e6
+        stats[replication] = {
+            "qps": qps,
+            "p50_ms": float(np.percentile(lat_ms, 50)),
+            "p99_ms": float(np.percentile(lat_ms, 99)),
+        }
+        results[replication] = run_results
+        rows.append(
+            [
+                f"R={replication}",
+                round(build_seconds, 4),
+                round(seconds, 4),
+                round(qps, 1),
+                round(stats[replication]["p50_ms"], 3),
+                round(stats[replication]["p99_ms"], 3),
+                round(memory_mb, 1),
+            ]
+        )
+    report.add_table(
+        f"Batch of {len(queries)} uniform queries "
+        f"({scale.shard_fraction * 100:g}% volume) on {ds.n:,} objects, "
+        f"K={n_shards} shards",
+        [
+            "replication",
+            "build (s)",
+            "batch (s)",
+            "queries/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "memory (MB)",
+        ],
+        rows,
+    )
+    report.add_note(
+        "expected shape: replication buys fault tolerance, not batch "
+        "speed — replicas of one shard split that shard's reads, so a "
+        "uniform batch sees near-flat latency while memory scales with R "
+        "(the win is availability and hot-tile headroom; see the "
+        "rebalancer's replica-aware skew gate)"
+    )
+
+    rmax = factors[-1]
+    killed: dict[str, float] = {}
+    if rmax >= 2:
+        engine, events, kill_results, _, lat_ms, _, qps = run_batch(
+            rmax, kill=True
+        )
+        mismatches = sum(
+            0 if np.array_equal(np.sort(a), np.sort(b)) else 1
+            for a, b in zip(results[rmax], kill_results)
+        )
+        failovers = len(events.recent(kind="replica.failover"))
+        assert engine.dead_replicas() == [(0, 0)], (
+            "the scheduled kill did not land where scheduled"
+        )
+        # Post-kill ingestion: the dead replica misses these writes and
+        # must get them back from the ledger's op log at recovery.
+        rng = np.random.default_rng(scale.seed + 32)
+        ndim = ds.store.ndim
+        ulo = np.asarray(ds.universe.lo, dtype=np.float64)
+        uhi = np.asarray(ds.universe.hi, dtype=np.float64)
+        blo = rng.uniform(ulo, uhi, size=(scale.replication_insert_batch, ndim))
+        bhi = np.minimum(blo + rng.uniform(0.1, 2.0, size=blo.shape), uhi)
+        engine.insert(blo, bhi)
+        replayed = engine.shards[0].replica_set.ledger.log_length
+        engine.recover_replica(0, 0)
+        recovered = events.recent(kind="replica.recover")
+        replica_set = engine.shards[0].replica_set
+        fingerprints = {
+            r.store.live_fingerprint() for r in replica_set.replicas
+        }
+        killed = {
+            "qps": qps,
+            "p99_ms": float(np.percentile(lat_ms, 99)),
+        }
+        report.add_table(
+            f"Mid-run kill at query {kill_at} (R={rmax}: shard 0 primary)",
+            [
+                "run",
+                "queries/s",
+                "p99 (ms)",
+                "result mismatches",
+                "failovers",
+                "replayed ops",
+            ],
+            [
+                [
+                    "unfaulted",
+                    round(stats[rmax]["qps"], 1),
+                    round(stats[rmax]["p99_ms"], 3),
+                    0,
+                    0,
+                    "-",
+                ],
+                [
+                    "killed + recovered",
+                    round(killed["qps"], 1),
+                    round(killed["p99_ms"], 3),
+                    mismatches,
+                    failovers,
+                    replayed,
+                ],
+            ],
+        )
+        report.add_note(
+            "correctness under failure: the killed run answered the "
+            + (
+                "identical result set for every query"
+                if mismatches == 0
+                else f"WRONG result on {mismatches} queries"
+            )
+            + f"; recovery replayed {replayed} ledger op(s) and "
+            + (
+                "all replicas ended fingerprint-identical"
+                if len(fingerprints) == 1
+                else "REPLICAS DIVERGED after recovery"
+            )
+        )
+        assert recovered and recovered[-1].payload["replayed_ops"] == replayed
+
+    report.metrics = {
+        "config": {
+            "n_objects": int(ds.n),
+            "n_shards": int(n_shards),
+            "n_queries": len(queries),
+            "replication_factors": list(factors),
+            "kill_at": kill_at,
+        },
+        # Headline metrics the regression gate compares run-over-run
+        # (latencies lower-better, queries_per_second higher-better;
+        # "rmax"/"killed" keep the key set stable across scales).
+        "headline": {
+            "r1_p99_ms": stats[factors[0]]["p99_ms"],
+            "rmax_p99_ms": stats[rmax]["p99_ms"],
+            "rmax_queries_per_second": stats[rmax]["qps"],
+            **(
+                {
+                    "killed_p99_ms": killed["p99_ms"],
+                    "killed_queries_per_second": killed["qps"],
+                }
+                if killed
+                else {}
+            ),
+        },
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
 # Query API (first-class queries; beyond the paper)
 # ----------------------------------------------------------------------
 def query_api_experiment(scale: Scale) -> ExperimentReport:
@@ -1927,6 +2166,11 @@ EXPERIMENTS: dict[str, tuple[Callable[[Scale], ExperimentReport], str]] = {
     "rebalance": (
         rebalance_experiment,
         "query-driven shard rebalancing under a drifting hotspot",
+    ),
+    "replication": (
+        replication_experiment,
+        "replicated shard serving: R sweep, mid-run replica kill, "
+        "ledger-replay recovery",
     ),
     "soak": (
         soak_experiment,

@@ -29,12 +29,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.baselines.scan import ScanIndex
 from repro.bench.reporting import ExperimentReport
 from repro.datasets.generators import make_uniform
 from repro.queries.query import as_query
 from repro.queries.workloads import WorkloadOp, drifting_hotspot_workload
 from repro.sharding.executor import QueryExecutor
 from repro.sharding.maintenance import MaintenancePolicy
+from repro.sharding.replication import ReplicatedShardedIndex
 from repro.sharding.sharded_index import ShardedIndex
 from repro.telemetry import (
     EventLog,
@@ -92,7 +94,7 @@ def _soak_ops(universe, scale: "Scale") -> list[WorkloadOp]:
 
 
 def soak_experiment(
-    scale: "Scale", serve_metrics: int | None = None
+    scale: "Scale", serve_metrics: int | None = None, chaos: bool = False
 ) -> ExperimentReport:
     """Run the soak for ``scale.soak_seconds``; report the trajectory.
 
@@ -103,20 +105,45 @@ def soak_experiment(
     Queries slower than ``scale.soak_slow_ms`` land in a structured
     :class:`~repro.telemetry.EventLog` as ``slow_query`` events; the
     report ends with the slowest of them, fully attributed.
+
+    With ``chaos`` on (the CLI's ``--chaos`` flag), the engine serves
+    from ``scale.soak_chaos_replication`` replicas per shard, a
+    deterministic replica kill fires every ``scale.soak_chaos_every``
+    executed ops (always leaving each shard at least one live replica),
+    and the maintenance scheduler heals corpses by ledger replay
+    (``recover_replicas=True``).  Every query's result is verified
+    against a Scan oracle — the run reports the mismatch count (which
+    must be zero) next to the kill/recovery tallies, so the chaos soak
+    doubles as an end-to-end correctness harness under failure.
     """
     report = ExperimentReport(
         "soak",
         "Steady-state serving soak: windowed latency histograms with "
         "maintenance-pause span attribution (drifting hotspot + "
-        "ingestion bursts + delete storms, maintenance on)",
+        "ingestion bursts + delete storms, maintenance on"
+        + (", replica-kill chaos with oracle verification" if chaos else "")
+        + ")",
     )
     ds = make_uniform(
         min(scale.rebalance_n, scale.uniform_n), seed=scale.seed
     )
-    engine = ShardedIndex(
-        ds.store.copy(), n_shards=max(scale.shard_counts), partitioner="str"
-    )
+    if chaos:
+        engine: ShardedIndex = ReplicatedShardedIndex(
+            ds.store.copy(),
+            n_shards=max(scale.shard_counts),
+            replication=scale.soak_chaos_replication,
+            partitioner="str",
+        )
+    else:
+        engine = ShardedIndex(
+            ds.store.copy(),
+            n_shards=max(scale.shard_counts),
+            partitioner="str",
+        )
     engine.build()
+    # The oracle's store starts as the same copy, so both sides assign
+    # identical id streams and every query is exactly comparable.
+    oracle = ScanIndex(ds.store.copy()) if chaos else None
     telemetry = Telemetry()
     events = EventLog()
     policy = MaintenancePolicy(
@@ -125,6 +152,7 @@ def soak_experiment(
         max_balance=1.2,
         max_query_skew=2.5,
         min_queries=16,
+        recover_replicas=chaos,
     )
     slow_threshold = scale.soak_slow_ms / 1e3
     executor = QueryExecutor(
@@ -158,11 +186,34 @@ def soak_experiment(
     ops = _soak_ops(ds.universe, scale)
     state = {"live": engine.store.ids[engine.store.live_rows()].copy()}
     pending: list = []
+    chaos_rng = np.random.default_rng(scale.seed + 77)
+    chaos_state = {"kills": 0, "verified": 0, "mismatches": 0}
 
     def flush_queries() -> None:
-        if pending:
-            executor.run(pending)
-            pending.clear()
+        if not pending:
+            return
+        result = executor.run([as_query(q) for q in pending])
+        if oracle is not None:
+            for window, got in zip(pending, result.results):
+                expect = oracle.query(window)
+                chaos_state["verified"] += 1
+                if not np.array_equal(np.sort(got), np.sort(expect)):
+                    chaos_state["mismatches"] += 1
+        pending.clear()
+
+    def chaos_tick() -> None:
+        # Deterministic periodic kill: a random live replica of a random
+        # shard, but never the shard's last one — availability outages
+        # are the fault-injection suites' territory; the chaos soak
+        # proves *degraded* serving stays correct while healing.
+        flush_queries()
+        sid = int(chaos_rng.integers(engine.n_shards))
+        replica_set = engine.shards[sid].replica_set
+        live = replica_set.live_replicas()
+        if len(live) >= 2:
+            rid = int(chaos_rng.choice([r.rid for r in live]))
+            engine.kill_replica(sid, rid)
+            chaos_state["kills"] += 1
 
     def write_tick(op: WorkloadOp, seq: int) -> None:
         # Writes tick the same scheduler the executor ticks for queries,
@@ -174,12 +225,19 @@ def soak_experiment(
             assigned = engine.insert(op.lo, op.hi)
             insert_hist.record(time.perf_counter() - t0)
             state["live"] = np.concatenate([state["live"], assigned])
+            if oracle is not None:
+                mirrored = oracle.insert(op.lo, op.hi)
+                assert np.array_equal(mirrored, assigned), (
+                    "oracle id stream diverged from the engine's"
+                )
         else:
             victims = resolve_delete_victims(
                 state["live"], op.count, seq, scale.seed
             )
             if victims.size:
                 engine.delete(victims)
+                if oracle is not None:
+                    oracle.delete(victims)
                 state["live"] = state["live"][
                     ~np.isin(state["live"], victims)
                 ]
@@ -197,8 +255,10 @@ def soak_experiment(
         while now < deadline:
             op = ops[i % len(ops)]
             i += 1
+            if chaos and executed and executed % scale.soak_chaos_every == 0:
+                chaos_tick()
             if op.kind == "query":
-                pending.append(as_query(op.query))
+                pending.append(op.query)
                 if len(pending) >= QUERY_BATCH:
                     flush_queries()
             else:
@@ -409,6 +469,20 @@ def soak_experiment(
             f"{events.dropped} event(s) dropped past the event-log ring "
             "(emitted counter still complete)"
         )
+    replica_events: dict[str, int] = {}
+    if chaos:
+        for record in events.recent():
+            if record.kind.startswith("replica."):
+                replica_events[record.kind] = (
+                    replica_events.get(record.kind, 0) + 1
+                )
+        report.add_note(
+            f"chaos: {chaos_state['kills']} replica kill(s), "
+            f"{scheduler.report.replicas_recovered} ledger-replay "
+            f"recover(ies); {chaos_state['verified']} quer(ies) verified "
+            f"against the Scan oracle with {chaos_state['mismatches']} "
+            "mismatch(es)"
+        )
 
     # -- machine-readable trajectory --------------------------------------
     report.metrics = {
@@ -436,6 +510,17 @@ def soak_experiment(
             "slow_query_threshold_ms": scale.soak_slow_ms,
         },
         "slow_queries": [e.to_dict() for e in top_slow],
+        "chaos": {
+            "enabled": chaos,
+            "replication": (
+                scale.soak_chaos_replication if chaos else 1
+            ),
+            "kills": chaos_state["kills"],
+            "recoveries": scheduler.report.replicas_recovered,
+            "verified_queries": chaos_state["verified"],
+            "mismatches": chaos_state["mismatches"],
+            "replica_events": replica_events,
+        },
         "events": {
             "emitted": events.emitted,
             "dropped": events.dropped,

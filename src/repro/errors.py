@@ -27,3 +27,7 @@ class DatasetError(ReproError):
 
 class QueryError(ReproError):
     """Raised when a query is malformed or incompatible with an index."""
+
+
+class ReplicationError(ReproError):
+    """Raised when a replicated shard cannot serve (e.g. all replicas dead)."""

@@ -27,6 +27,15 @@ intact:
   :class:`MaintenanceReport` — automatic maintenance on the query path:
   dead-fraction-gated compaction plus drift-gated rebalancing, ticked
   by the executors instead of ad-hoc call sites.
+* :class:`ReplicatedShardedIndex` / :class:`ReplicaSet` /
+  :class:`ShardReplica` / :class:`ReplicatedShard` — the replication
+  tier: R replicas per shard with least-loaded read routing, automatic
+  failover, write application through the per-shard
+  :class:`~repro.updates.ledger.UpdateLedger` (the replication stream),
+  and ledger-replay recovery with fingerprint verification.
+* :class:`FaultInjector` / :class:`Fault` — deterministic, seed-driven
+  kill/stall/slow faults, ticked on the engine's routing path so
+  failures are first-class test inputs.
 
 The ``shard-scaling`` bench experiment (``quasii-bench shard-scaling``)
 measures batch throughput, pruning, and balance across shard and worker
@@ -55,11 +64,21 @@ from repro.sharding.rebalancer import (
     ShardLoad,
     WorkloadProfile,
 )
+from repro.sharding.replication import (
+    Fault,
+    FaultInjector,
+    ReplicaSet,
+    ReplicatedShard,
+    ReplicatedShardedIndex,
+    ShardReplica,
+)
 from repro.sharding.shard import Shard
 from repro.sharding.sharded_index import IndexFactory, ShardedIndex
 
 __all__ = [
     "BatchResult",
+    "Fault",
+    "FaultInjector",
     "IndexFactory",
     "MaintenancePolicy",
     "MaintenanceReport",
@@ -69,10 +88,14 @@ __all__ = [
     "QueryExecutor",
     "RebalanceResult",
     "Rebalancer",
+    "ReplicaSet",
+    "ReplicatedShard",
+    "ReplicatedShardedIndex",
     "RoundRobinPartitioner",
     "STRPartitioner",
     "Shard",
     "ShardLoad",
+    "ShardReplica",
     "ShardedIndex",
     "WorkloadProfile",
     "make_partitioner",

@@ -41,6 +41,7 @@ from repro.index.base import IndexStats
 from repro.queries.query import Query, QueryResult, as_query
 from repro.queries.range_query import RangeQuery
 from repro.sharding.maintenance import MaintenancePolicy, MaintenanceScheduler
+from repro.sharding.replication import FaultInjector
 from repro.sharding.shard import Shard
 from repro.sharding.sharded_index import ShardedIndex
 from repro.telemetry import Telemetry
@@ -150,6 +151,13 @@ class QueryExecutor:
         predicate/mode, its seconds, and the owning batch's fan-out
         profile (per-shard seconds, shards visited/pruned, phase
         split).  ``None`` (default) disables the check entirely.
+    fault_injector:
+        Optional :class:`~repro.sharding.replication.FaultInjector`,
+        attached to a replication-aware engine
+        (:class:`~repro.sharding.replication.ReplicatedShardedIndex`)
+        so deterministic kill/stall/slow faults fire on the serving
+        path.  Passing one with a plain :class:`ShardedIndex` raises —
+        faults are first-class inputs, never silently dropped.
     """
 
     def __init__(
@@ -160,6 +168,7 @@ class QueryExecutor:
         telemetry: Telemetry | None = None,
         events: EventLog | None = None,
         slow_query_threshold: float | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ConfigurationError(
@@ -179,6 +188,18 @@ class QueryExecutor:
         )
         self._events = events
         self._slow_query_threshold = slow_query_threshold
+        if fault_injector is not None:
+            attach = getattr(index, "attach_fault_injector", None)
+            if attach is None:
+                raise ConfigurationError(
+                    f"{type(index).__name__} has no fault-injection seam; "
+                    "use a ReplicatedShardedIndex"
+                )
+            attach(fault_injector)
+        if events is not None:
+            attach_events = getattr(index, "attach_event_log", None)
+            if attach_events is not None:
+                attach_events(events)
         self._scheduler = (
             MaintenanceScheduler(
                 index,
@@ -361,8 +382,14 @@ class QueryExecutor:
             # indexes batch their own candidate matrices / merges.  Each
             # task times itself — pool queueing excluded, so the numbers
             # expose shard skew rather than dispatch order.
+            # serving_index() is the replication seam: a replicated
+            # shard picks its least-loaded live replica here, once per
+            # shard per batch, so the chosen replica stays
+            # single-threaded for the whole sub-batch.
             w0 = time.perf_counter()
-            sub = shard.index.execute_batch([queries[i] for i in idxs])
+            sub = shard.serving_index().execute_batch(
+                [queries[i] for i in idxs]
+            )
             return idxs, sub, time.perf_counter() - w0
 
         partials: dict[int, list[QueryResult]] = {}

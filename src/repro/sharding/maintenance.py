@@ -63,6 +63,11 @@ class MaintenancePolicy:
     min_queries:
         Profiled queries required before the first pass after (re)build
         or a previous pass; guards against re-tiling on noise.
+    recover_replicas:
+        Whether maintenance checks heal dead replicas on replication-
+        aware engines (ledger replay via ``recover_all``).  Irrelevant
+        for plain engines; ``False`` leaves recovery to explicit calls
+        (fault-injection tests want the corpse to stay dead).
     """
 
     check_every: int = 64
@@ -71,6 +76,7 @@ class MaintenancePolicy:
     max_balance: float = 1.5
     max_query_skew: float = 2.5
     min_queries: int = 64
+    recover_replicas: bool = False
 
     def __post_init__(self) -> None:
         if self.check_every < 1:
@@ -120,6 +126,9 @@ class MaintenanceReport:
         Rebalancing passes applied.
     rows_migrated:
         Rows whose owning shard changed across those passes.
+    replicas_recovered:
+        Dead replicas healed by ledger replay during checks (only with
+        ``policy.recover_replicas`` on a replication-aware engine).
     seconds:
         Wall-clock spent inside maintenance (off the per-query timings;
         the amortized price of staying tight).
@@ -132,6 +141,7 @@ class MaintenanceReport:
     rows_reclaimed: int = 0
     rebalances: int = 0
     rows_migrated: int = 0
+    replicas_recovered: int = 0
     seconds: float = 0.0
     last_rebalance: RebalanceResult | None = field(default=None, repr=False)
 
@@ -259,8 +269,20 @@ class MaintenanceScheduler:
                             seconds=time.perf_counter() - tr,
                             check=self.report.checks,
                         )
+            recovered = 0
+            if self.policy.recover_replicas:
+                # Self-healing for replication-aware engines: ledger-
+                # replay every dead replica back to life.  Last in the
+                # check so recovery fingerprints compare against
+                # already-compacted, already-rebalanced peers.
+                recover_all = getattr(index, "recover_all", None)
+                if recover_all is not None:
+                    recovered = int(recover_all())
+                    self.report.replicas_recovered += recovered
             check.set(
-                rows_reclaimed=reclaimed, rows_migrated=rows_migrated
+                rows_reclaimed=reclaimed,
+                rows_migrated=rows_migrated,
+                replicas_recovered=recovered,
             )
         self.report.seconds += time.perf_counter() - t0
         return self.report

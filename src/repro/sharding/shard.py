@@ -80,6 +80,27 @@ class Shard:
             self.mbb_lo = np.full(store.ndim, _INF, dtype=np.float64)
             self.mbb_hi = np.full(store.ndim, -_INF, dtype=np.float64)
 
+    def serving_index(self) -> SpatialIndex:
+        """The index read traffic should hit for this shard.
+
+        The read-routing seam: the base shard always serves from its own
+        index, while :class:`~repro.sharding.replication.ReplicatedShard`
+        overrides this to pick the least-loaded live replica.  The
+        executor calls this exactly once per shard per batch, so whatever
+        index is returned is touched by a single worker thread for the
+        whole batch (shard affinity extends to replicas).
+        """
+        return self.index
+
+    def work_counter(self, name: str) -> int:
+        """Cumulative value of one index work counter for this shard.
+
+        The engine's :meth:`ShardedIndex.sync_shard_work` reads fleet
+        work through this hook; a replicated shard overrides it to sum
+        across all of its replicas' indexes.
+        """
+        return int(getattr(self.index.stats, name))
+
     def expand(self, lo: np.ndarray, hi: np.ndarray) -> None:
         """Grow the MBB to cover an insert batch routed to this shard."""
         if lo.shape[0]:

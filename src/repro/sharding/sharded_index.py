@@ -157,7 +157,7 @@ class ShardedIndex(MutableSpatialIndex):
         objects tested, cracks, rows moved, and merges.
         """
         for name in self._WORK_COUNTERS:
-            total = sum(getattr(s.index.stats, name) for s in self._shards)
+            total = sum(s.work_counter(name) for s in self._shards)
             delta = total - self._work_seen[name]
             if delta:
                 setattr(self.stats, name, getattr(self.stats, name) + delta)
@@ -303,7 +303,8 @@ class ShardedIndex(MutableSpatialIndex):
                 "ShardedIndex queried before build(); call build() first"
             )
         parts = [
-            shard.index.execute(query) for shard in self.plan_shards(query)
+            shard.serving_index().execute(query)
+            for shard in self.plan_shards(query)
         ]
         payload = self._merge_payload(query, parts)
         self.sync_shard_work()
@@ -332,7 +333,7 @@ class ShardedIndex(MutableSpatialIndex):
                 queues.setdefault(shard.sid, []).append(i)
         partials: dict[int, list[QueryResult]] = {}
         for sid, idxs in queues.items():
-            sub = self._shards[sid].index.execute_batch(
+            sub = self._shards[sid].serving_index().execute_batch(
                 [queries[i] for i in idxs]
             )
             for i, res in zip(idxs, sub):
@@ -720,7 +721,7 @@ class ShardedIndex(MutableSpatialIndex):
             self._owner[int(obj_id)] = sid
         for name in self._WORK_COUNTERS:
             self._work_seen[name] = sum(
-                getattr(s.index.stats, name) for s in self._shards
+                s.work_counter(name) for s in self._shards
             )
         self._stack_lo = self._stack_hi = None
 

@@ -52,6 +52,26 @@ EVENTS: dict[str, str] = {
         "a rebalancing pass was applied; payload carries rows_migrated "
         "and the pass duration"
     ),
+    "replica.kill": (
+        "a shard replica was killed (fault injection); payload carries "
+        "the shard sid and replica rid"
+    ),
+    "replica.stall": (
+        "a shard replica was stalled out of read routing; payload "
+        "carries sid, rid, and the stall duration in routing decisions"
+    ),
+    "replica.slow": (
+        "a shard replica's effective load was scaled up (slow fault); "
+        "payload carries sid, rid, and the factor"
+    ),
+    "replica.recover": (
+        "a dead replica was rebuilt by ledger replay and fingerprint-"
+        "verified; payload carries sid, rid, replayed_ops, live_rows"
+    ),
+    "replica.failover": (
+        "a shard's primary replica died and a live replica took over; "
+        "payload carries sid, from_rid, to_rid"
+    ),
 }
 
 

@@ -1,0 +1,166 @@
+"""Direct unit coverage for :class:`UpdateLedger`.
+
+The ledger is the property suites' oracle *and* (since the replication
+tier) the per-shard replication stream, so its own edges need direct
+tests rather than indirect coverage: the delete-of-never-inserted and
+reinsert-after-delete edges of ``live_ids``/``expected_result``, the
+all-or-nothing batch validation, and the op-log replay/truncate APIs
+recovery depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import BoxStore
+from repro.errors import DatasetError
+from repro.updates import UpdateLedger
+
+
+def _boxes(rows):
+    lo = np.array([[x, y] for x, y, _ in rows], dtype=np.float64)
+    hi = lo + np.array([[s, s] for _, _, s in rows], dtype=np.float64)
+    return lo, hi
+
+
+class TestLiveIdsEdges:
+    def test_delete_of_never_inserted_id_raises(self):
+        ledger = UpdateLedger()
+        lo, hi = _boxes([(0, 0, 1), (5, 5, 1)])
+        ledger.record_insert(lo, hi, np.array([3, 4]))
+        with pytest.raises(DatasetError, match="unknown id 9"):
+            ledger.record_delete(np.array([9]))
+        # All-or-nothing: a batch with one unknown id removes nothing.
+        with pytest.raises(DatasetError, match="unknown id 9"):
+            ledger.record_delete(np.array([3, 9]))
+        assert np.array_equal(ledger.live_ids(), np.array([3, 4]))
+
+    def test_delete_twice_raises_second_time(self):
+        ledger = UpdateLedger()
+        lo, hi = _boxes([(0, 0, 1)])
+        ledger.record_insert(lo, hi, np.array([7]))
+        ledger.record_delete(np.array([7]))
+        assert ledger.live_ids().size == 0
+        with pytest.raises(DatasetError, match="unknown id 7"):
+            ledger.record_delete(np.array([7]))
+
+    def test_reinsert_after_delete_is_live_again(self):
+        ledger = UpdateLedger()
+        lo, hi = _boxes([(0, 0, 1)])
+        ledger.record_insert(lo, hi, np.array([5]))
+        ledger.record_delete(np.array([5]))
+        lo2, hi2 = _boxes([(9, 9, 2)])
+        ledger.record_insert(lo2, hi2, np.array([5]))
+        assert np.array_equal(ledger.live_ids(), np.array([5]))
+        # The reinserted geometry (not the original) answers windows.
+        hits = ledger.expected_result(np.array([8.0, 8.0]), np.array([12.0, 12.0]))
+        assert np.array_equal(hits, np.array([5]))
+        miss = ledger.expected_result(np.array([-1.0, -1.0]), np.array([2.0, 2.0]))
+        assert miss.size == 0
+
+    def test_duplicate_insert_is_all_or_nothing(self):
+        ledger = UpdateLedger()
+        lo, hi = _boxes([(0, 0, 1)])
+        ledger.record_insert(lo, hi, np.array([1]))
+        blo, bhi = _boxes([(2, 2, 1), (3, 3, 1)])
+        with pytest.raises(DatasetError, match="already holds id 1"):
+            ledger.record_insert(blo, bhi, np.array([2, 1]))
+        # Neither row of the rejected batch landed (id 2 stayed unknown).
+        assert np.array_equal(ledger.live_ids(), np.array([1]))
+        assert ledger.log_length == 1
+
+    def test_duplicate_within_one_batch_raises(self):
+        ledger = UpdateLedger()
+        blo, bhi = _boxes([(2, 2, 1), (3, 3, 1)])
+        with pytest.raises(DatasetError, match="already holds id 6"):
+            ledger.record_insert(blo, bhi, np.array([6, 6]))
+        assert len(ledger) == 0
+
+
+class TestExpectedResultEdges:
+    def test_empty_ledger_returns_empty(self):
+        ledger = UpdateLedger()
+        out = ledger.expected_result(np.array([0.0, 0.0]), np.array([9.0, 9.0]))
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_touching_edges_count_as_intersecting(self):
+        ledger = UpdateLedger()
+        lo, hi = _boxes([(0, 0, 2)])  # box [0,2]^2
+        ledger.record_insert(lo, hi, np.array([11]))
+        # Window starting exactly at the box's upper corner touches it.
+        hits = ledger.expected_result(np.array([2.0, 2.0]), np.array([5.0, 5.0]))
+        assert np.array_equal(hits, np.array([11]))
+        # Strictly beyond misses.
+        miss = ledger.expected_result(np.array([2.1, 2.1]), np.array([5.0, 5.0]))
+        assert miss.size == 0
+
+    def test_deleted_rows_never_match(self):
+        store = BoxStore(np.zeros((3, 2)), np.ones((3, 2)))
+        ledger = UpdateLedger(store)
+        ledger.record_delete(np.array([1]))
+        hits = ledger.expected_result(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert np.array_equal(hits, np.array([0, 2]))
+
+
+class TestReplayAndTruncate:
+    def _scripted_ledger(self):
+        store = BoxStore(
+            np.array([[0.0, 0.0], [10.0, 10.0]]),
+            np.array([[1.0, 1.0], [11.0, 11.0]]),
+        )
+        ledger = UpdateLedger(store)
+        lo, hi = _boxes([(5, 5, 1), (20, 20, 2)])
+        ledger.record_insert(lo, hi, np.array([2, 3]))
+        ledger.record_delete(np.array([0, 3]))
+        return store, ledger
+
+    def test_rebuild_store_matches_ledger(self):
+        _, ledger = self._scripted_ledger()
+        assert ledger.log_length == 2
+        rebuilt = ledger.rebuild_store()
+        ledger.assert_matches(rebuilt)
+        assert np.array_equal(
+            np.sort(rebuilt.ids[rebuilt.live_rows()]), ledger.live_ids()
+        )
+
+    def test_rebuild_matches_store_that_applied_same_stream(self):
+        store, ledger = self._scripted_ledger()
+        lo, hi = _boxes([(5, 5, 1), (20, 20, 2)])
+        store.append(lo, hi, np.array([2, 3]))
+        store.delete_ids(np.array([0, 3]))
+        rebuilt = ledger.rebuild_store()
+        assert rebuilt.live_fingerprint() == store.live_fingerprint()
+
+    def test_truncate_folds_log_into_base(self):
+        _, ledger = self._scripted_ledger()
+        live_before = ledger.live_ids()
+        dropped = ledger.truncate()
+        assert dropped == 2 and ledger.log_length == 0
+        assert np.array_equal(ledger.live_ids(), live_before)
+        rebuilt = ledger.rebuild_store()
+        ledger.assert_matches(rebuilt)
+
+    def test_replay_handles_reinsert_after_delete(self):
+        ledger = UpdateLedger()
+        lo, hi = _boxes([(0, 0, 1)])
+        ledger.record_insert(lo, hi, np.array([4]))
+        ledger.record_delete(np.array([4]))
+        lo2, hi2 = _boxes([(7, 7, 1)])
+        ledger.record_insert(lo2, hi2, np.array([4]))
+        rebuilt = ledger.rebuild_store()
+        ledger.assert_matches(rebuilt)
+        assert np.array_equal(ledger.live_ids(), np.array([4]))
+
+    def test_rebuild_without_any_rows_raises(self):
+        with pytest.raises(DatasetError, match="never saw a row"):
+            UpdateLedger().rebuild_store()
+
+    def test_empty_batches_do_not_grow_the_log(self):
+        _, ledger = self._scripted_ledger()
+        before = ledger.log_length
+        ledger.record_insert(
+            np.empty((0, 2)), np.empty((0, 2)), np.empty(0, dtype=np.int64)
+        )
+        ledger.record_delete(np.empty(0, dtype=np.int64))
+        assert ledger.log_length == before

@@ -181,6 +181,17 @@ class AnalysisConfig:
             "GuttmanRTree",
             "RTreeNode",
             "LatencyHistogram",
+            # Replication tier (replica-local state): a shard's replica
+            # set — including the replica picked to serve a batch — is
+            # touched by exactly one worker per batch (shard affinity
+            # extends through Shard.serving_index), and the fault
+            # injector/ledger only tick on the coordinating thread's
+            # routing/write path.
+            "ReplicatedShard",
+            "ReplicaSet",
+            "ShardReplica",
+            "FaultInjector",
+            "UpdateLedger",
         }
     )
     # QL004 -- dtype discipline
