@@ -1,0 +1,293 @@
+"""Shared-memory segments: zero-copy shard snapshots across processes.
+
+The process-parallel serving tier re-homes each shard's column data in
+POSIX shared memory so worker processes read (and crack) it without a
+single row ever crossing a pipe.  A *segment* is one
+:class:`~multiprocessing.shared_memory.SharedMemory` block holding a
+shard's **packed live rows** — the ``(n, d)`` lower/upper corner
+matrices followed by the id vector, gathered at publish time:
+
+* Packing at publish keeps the store contract intact: the snapshot's
+  live ``(id, box)`` multiset equals the source shard's at the moment of
+  publish (:meth:`SharedStoreView.live_fingerprint` digests exactly
+  that), tombstones are simply not shipped, and the worker-side
+  :class:`~repro.datasets.store.BoxStore` starts at epoch 0 with every
+  row live — a valid store by construction, not a back door into one.
+* Segments are **immutable from the driver's side once published**.
+  Mutations (appends, deletes, compaction remaps, rebalance rebuilds)
+  bump the source store's epoch, and the pool reacts by publishing a
+  *new* segment version and retiring the old one — workers never observe
+  a segment changing under them.  The owning worker, however, may crack
+  its snapshot in place: exactly one worker serves a given shard
+  (dispatch is sharded by ``sid``), and permutation preserves the
+  multiset invariant like any other query-path reorganization.
+
+Lifecycle: the driver creates and eventually unlinks every segment
+(:meth:`ShardSegment.destroy`); workers attach by name and close their
+mapping when a newer version arrives (:meth:`SharedStoreView.close`).
+Unlinking a segment a worker still maps is safe on POSIX — the mapping
+stays valid until the worker closes it — which is what lets the driver
+retire old versions without a handshake.
+
+Python < 3.13 registers *attached* segments with the resource tracker
+as if the attaching process owned them.  What that requires depends on
+whose tracker the attaching process writes to:
+
+* **Shared tracker** (every pool worker: fork/forkserver children
+  inherit the driver tracker's pipe fd, spawn children receive it via
+  multiprocessing's preparation data) — the attach-register is an
+  idempotent set-add in the *driver's* tracker, and unregistering
+  would strip the driver's own registration, turning its eventual
+  ``unlink()`` into a tracker ``KeyError``.  Attachments must be left
+  registered.
+* **Private tracker** (a genuinely foreign process attaching by name
+  from outside the driver's process tree) — its exit-time "leak"
+  cleanup would unlink driver-owned segments, so the attachment must
+  be unregistered immediately (the 3.13 ``track=`` parameter made
+  this idiom official).
+
+Callers therefore tell :func:`attach_segment` which case they are
+(``tracker_shared``); the pool also starts the driver's tracker
+*before* forking any worker, or early workers would spin up private
+trackers and land in the second case by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+from repro.datasets.store import BoxStore
+from repro.errors import ParallelError
+
+__all__ = [
+    "SegmentSpec",
+    "ShardSegment",
+    "SharedStoreView",
+    "attach_segment",
+    "publish_segment",
+    "segment_nbytes",
+]
+
+_FLOAT = np.dtype(np.float64)
+_INT = np.dtype(np.int64)
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Everything a worker needs to map one shard snapshot.
+
+    Strings and integers only — picklable by construction (QL008), and
+    small enough that shipping one per refresh is noise next to the
+    rows it describes.
+
+    Attributes
+    ----------
+    name:
+        The OS-level shared-memory name (attach key).
+    sid:
+        Owning shard id.
+    version:
+        Monotonic per-shard segment version; bumped on every republish,
+        so a worker can tell a refresh from a redundant spec.
+    n_rows:
+        Packed live rows in the segment.
+    ndim:
+        Box dimensionality.
+    epoch:
+        The source store's epoch at publish time (diagnostic only; the
+        driver's staleness test lives with the source store, not here).
+    """
+
+    name: str
+    sid: int
+    version: int
+    n_rows: int
+    ndim: int
+    epoch: int
+
+
+def segment_nbytes(n_rows: int, ndim: int) -> int:
+    """Payload bytes for a packed snapshot: lo + hi + ids."""
+    return 2 * n_rows * ndim * _FLOAT.itemsize + n_rows * _INT.itemsize
+
+
+def _layout(
+    buf: memoryview, n_rows: int, ndim: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The three column views over a segment buffer (zero-copy)."""
+    corner = n_rows * ndim * _FLOAT.itemsize
+    lo = np.ndarray((n_rows, ndim), dtype=_FLOAT, buffer=buf, offset=0)
+    hi = np.ndarray((n_rows, ndim), dtype=_FLOAT, buffer=buf, offset=corner)
+    ids = np.ndarray((n_rows,), dtype=_INT, buffer=buf, offset=2 * corner)
+    return lo, hi, ids
+
+
+def publish_segment(
+    store: BoxStore, sid: int, version: int
+) -> tuple[SegmentSpec, SharedMemory]:
+    """Snapshot a store's live rows into a fresh shared-memory segment.
+
+    Driver-side half of the protocol.  Gathers the live rows (packed,
+    tombstones dropped) into a newly created segment and returns the
+    spec plus the owning handle — the caller keeps the handle so it can
+    later :meth:`~multiprocessing.shared_memory.SharedMemory.unlink`
+    the segment (see :class:`ShardSegment`).
+    """
+    rows = store.live_rows()
+    n_rows = int(rows.size)
+    ndim = store.ndim
+    # A zero-byte segment is rejected by the OS; one spare byte keeps
+    # the empty-shard snapshot representable with the same layout.
+    shm = SharedMemory(create=True, size=max(1, segment_nbytes(n_rows, ndim)))
+    lo, hi, ids = _layout(shm.buf, n_rows, ndim)
+    lo[:] = store.lo[rows]
+    hi[:] = store.hi[rows]
+    ids[:] = store.ids[rows]
+    spec = SegmentSpec(
+        name=shm.name,
+        sid=sid,
+        version=version,
+        n_rows=n_rows,
+        ndim=ndim,
+        epoch=store.epoch,
+    )
+    return spec, shm
+
+
+def attach_segment(
+    spec: SegmentSpec, tracker_shared: bool = False
+) -> SharedMemory:
+    """Map an existing segment by spec (worker-side attach).
+
+    With ``tracker_shared=False`` (a foreign attacher running its own
+    resource tracker) the mapping is unregistered immediately:
+    ownership — and the unlink duty — stays with the driver, and the
+    attacher's exit must neither warn about nor destroy a segment it
+    only borrowed.  With ``tracker_shared=True`` (pool workers, which
+    write to the *driver's* tracker under every start method) the
+    registration is left alone — it lands as a set-level no-op
+    driver-side, and removing it would instead cancel the driver's own
+    registration out from under its ``unlink()``.
+    """
+    shm = SharedMemory(name=spec.name, create=False)
+    if not tracker_shared:
+        # The private _name carries the tracker's registration key (the
+        # public .name strips the platform prefix on some systems).
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]  # noqa: SLF001
+    return shm
+
+
+class SharedStoreView:
+    """A worker's zero-copy :class:`BoxStore` over a mapped segment.
+
+    The store's ``lo``/``hi``/``ids`` columns are numpy views directly
+    into the shared mapping — no copy is made on attach, so a worker's
+    memory cost per shard is one ``live`` mask plus index structures.
+    The view preserves the store discipline end to end:
+
+    * **Live-multiset invariant** — the snapshot holds exactly the
+      source shard's live rows at publish; queries may only permute it
+      (cracking), so :meth:`live_fingerprint` stays equal to the
+      driver-side shard's until the next epoch bump triggers a
+      republish.
+    * **Epoch discipline** — the view's store starts at epoch 0 and the
+      worker never mutates it through the update verbs, so any index
+      built over it keeps its ``_check_epoch`` contract; *driver-side*
+      epoch bumps surface as a new segment version, never as in-place
+      movement under a live index.
+    """
+
+    __slots__ = ("spec", "_shm", "_store")
+
+    def __init__(self, spec: SegmentSpec, shm: SharedMemory) -> None:
+        if spec.ndim < 1:
+            raise ParallelError(f"segment {spec.name} has ndim {spec.ndim}")
+        need = segment_nbytes(spec.n_rows, spec.ndim)
+        if shm.size < need:
+            raise ParallelError(
+                f"segment {spec.name} holds {shm.size} bytes, spec needs "
+                f"{need}"
+            )
+        self.spec = spec
+        self._shm = shm
+        lo, hi, ids = _layout(shm.buf, spec.n_rows, spec.ndim)
+        # BoxStore's ascontiguousarray pass-through keeps these exact
+        # views (C-contiguous float64/int64 already), so the store is
+        # genuinely zero-copy over the mapping.
+        self._store = BoxStore(lo, hi, ids)
+
+    @classmethod
+    def attach(
+        cls, spec: SegmentSpec, tracker_shared: bool = False
+    ) -> SharedStoreView:
+        """Map the segment named by ``spec`` and wrap it (worker-side)."""
+        return cls(spec, attach_segment(spec, tracker_shared))
+
+    @property
+    def store(self) -> BoxStore:
+        """The zero-copy store (safe to crack; never update-mutate)."""
+        return self._store
+
+    def live_fingerprint(self) -> bytes:
+        """Digest of the snapshot's live ``(id, box)`` multiset."""
+        return self._store.live_fingerprint()
+
+    def close(self) -> None:
+        """Drop the mapping.  The caller must have dropped every index
+        built over :attr:`store` first — a numpy view still referencing
+        the buffer makes the underlying mmap close a no-op until GC."""
+        # Release our own views before closing, or SharedMemory.close()
+        # raises BufferError on the exported memoryview.
+        self._store = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SharedStoreView(sid={self.spec.sid}, v{self.spec.version}, "
+            f"rows={self.spec.n_rows})"
+        )
+
+
+class ShardSegment:
+    """Driver-side record of one published segment (the owning handle).
+
+    Tracks what the segment was published *from* — the shard object and
+    its store epoch — which is exactly the staleness test the pool runs
+    before every batch: a bumped epoch (append/delete/compact), a
+    replaced :class:`~repro.sharding.shard.Shard` (rebalance rebuild),
+    or rows still buffered in the shard index all force a republish.
+    """
+
+    __slots__ = ("spec", "shm", "shard_token", "epoch")
+
+    def __init__(
+        self, spec: SegmentSpec, shm: SharedMemory, shard_token: object
+    ) -> None:
+        self.spec = spec
+        self.shm = shm
+        #: Identity token of the Shard published from (rebuilds replace
+        #: the Shard object wholesale, which must read as stale).
+        self.shard_token = shard_token
+        self.epoch = spec.epoch
+
+    def is_current(self, shard_token: object, epoch: int, pending: int) -> bool:
+        """True when the segment still mirrors the live shard exactly."""
+        return (
+            self.shard_token is shard_token
+            and self.epoch == epoch
+            and pending == 0
+        )
+
+    def destroy(self) -> None:
+        """Close the driver's mapping and unlink the OS object.
+
+        Workers still mapping the old version keep serving from it
+        until they switch; the name is gone from ``/dev/shm``
+        immediately, which is what the cleanup test asserts.
+        """
+        self.shm.close()
+        self.shm.unlink()

@@ -17,6 +17,19 @@ roughly sequential execution plus a small dispatch cost.
 at all) — useful as a baseline and on interpreters/platforms where
 thread pools are unwanted.
 
+Threads share the GIL; the ``backend`` seam escapes it.  Every executor
+resolves to one of three backends — ``"sequential"``, ``"threads"``
+(the thread-pooled fan-out above), or ``"processes"`` (a persistent
+:class:`~repro.parallel.pool.ProcessPool` serving per-shard sub-batches
+from shared-memory snapshots).  An explicit ``backend=`` argument wins;
+otherwise ``QUASII_EXECUTOR_BACKEND`` is consulted (only when the
+resolved ``max_workers`` exceeds 1, so single-worker setups keep their
+sequential contract); otherwise the historical default stands:
+``threads`` when ``max_workers > 1``, else ``sequential``.  Replicated
+engines route reads through per-shard replica picks, which the process
+tier bypasses by design — asking for ``backend="processes"`` on one
+raises, and an env-sourced request quietly downgrades to threads.
+
 Passing a :class:`~repro.sharding.maintenance.MaintenancePolicy` makes
 the executor the maintenance driver too: after every batch it ticks a
 :class:`~repro.sharding.maintenance.MaintenanceScheduler`, which
@@ -32,7 +45,8 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from types import TracebackType
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -41,7 +55,7 @@ from repro.index.base import IndexStats
 from repro.queries.query import Query, QueryResult, as_query
 from repro.queries.range_query import RangeQuery
 from repro.sharding.maintenance import MaintenancePolicy, MaintenanceScheduler
-from repro.sharding.replication import FaultInjector
+from repro.sharding.replication import FaultInjector, ReplicatedShardedIndex
 from repro.sharding.shard import Shard
 from repro.sharding.sharded_index import ShardedIndex
 from repro.telemetry import Telemetry
@@ -55,6 +69,15 @@ from repro.telemetry.naming import (
     SHARD_BATCH_SECONDS,
     record_stats_delta,
 )
+
+if TYPE_CHECKING:
+    from repro.parallel.pool import ProcessPool
+
+#: The executor's dispatch backends, in escalation order.
+BACKENDS = ("sequential", "threads", "processes")
+
+#: Environment override consulted when no explicit ``backend=`` is given.
+BACKEND_ENV = "QUASII_EXECUTOR_BACKEND"
 
 
 @dataclass
@@ -74,9 +97,10 @@ class BatchResult:
     seconds:
         Wall-clock for the whole batch (planning + fan-out + merge).
     mode:
-        ``"parallel"`` or ``"sequential"``.
+        ``"sequential"``, ``"parallel"`` (thread backend), or
+        ``"processes"`` (process backend).
     workers:
-        Thread count used (1 for the sequential fallback).
+        Thread or process count used (1 for the sequential fallback).
     shard_queries:
         Per-shard number of (query, shard) executions — the fan-out
         profile; its sum can exceed ``len(results)`` when queries span
@@ -84,15 +108,16 @@ class BatchResult:
     shard_seconds:
         Per-shard worker wall-clock for this batch's sub-batches, indexed
         by shard id (0.0 for shards the batch never visited).  On the
-        parallel path each shard task is timed individually, so
+        thread path each shard task is timed individually (and on the
+        process path each worker times its sub-batch in-process), so
         shard-level skew is measurable: ``max(shard_seconds)`` bounds the
         fan-out phase while ``sum(shard_seconds)`` is the total work.
         The sequential fallback runs the engine's native batch (no
         per-shard attribution), so the list stays zeroed there.
     route_seconds / fanout_seconds / merge_seconds:
-        Phase timings of the parallel path: planning queries onto shards
-        (the queueing step), shard tasks in flight, and partial-result
-        assembly.  All 0.0 on the sequential path.
+        Phase timings of the thread/process paths: planning queries onto
+        shards (the queueing step), shard tasks in flight, and
+        partial-result assembly.  All 0.0 on the sequential path.
     """
 
     results: list[np.ndarray] = field(default_factory=list)
@@ -124,8 +149,19 @@ class QueryExecutor:
     index:
         The sharded engine; built on first use if necessary.
     max_workers:
-        Thread pool width.  ``None`` uses ``os.cpu_count()`` capped at
-        the shard count; ``<= 1`` selects the sequential fallback.
+        Thread (or process) pool width.  ``None`` uses
+        ``os.cpu_count()`` capped at the shard count; ``<= 1`` selects
+        the sequential fallback unless ``backend`` says otherwise.
+    backend:
+        Dispatch backend: one of :data:`BACKENDS` or ``None``.
+        ``None`` (default) resolves via the module docstring's rules —
+        env override first (:data:`BACKEND_ENV`, honored only when the
+        resolved ``max_workers`` exceeds 1), then ``"threads"`` /
+        ``"sequential"`` by worker count.  The ``"processes"`` backend
+        lazily spins up a persistent
+        :class:`~repro.parallel.pool.ProcessPool` on first use; call
+        :meth:`close` (or use the executor as a context manager) to
+        tear it down deterministically.
     maintenance:
         Optional :class:`MaintenancePolicy`; when given, a
         :class:`MaintenanceScheduler` is ticked after every executed
@@ -164,6 +200,7 @@ class QueryExecutor:
         self,
         index: ShardedIndex,
         max_workers: int | None = None,
+        backend: str | None = None,
         maintenance: MaintenancePolicy | None = None,
         telemetry: Telemetry | None = None,
         events: EventLog | None = None,
@@ -183,6 +220,8 @@ class QueryExecutor:
         if max_workers is None:
             max_workers = min(os.cpu_count() or 1, index.n_shards)
         self._max_workers = int(max_workers)
+        self._backend = self._resolve_backend(backend, index)
+        self._pool: ProcessPool | None = None
         self._telemetry = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
@@ -211,10 +250,52 @@ class QueryExecutor:
             else None
         )
 
+    def _resolve_backend(
+        self, requested: str | None, index: ShardedIndex
+    ) -> str:
+        """Settle the dispatch backend at construction time.
+
+        Explicit argument > :data:`BACKEND_ENV` (only when more than one
+        worker was resolved — the env knob widens parallel setups, it
+        never un-sequentializes a deliberate single-worker executor) >
+        the historical worker-count default.  Unknown names raise either
+        way; ``processes`` on a replicated engine raises when asked
+        explicitly and downgrades to ``threads`` when the env asked,
+        because the process tier serves from driver-published snapshots
+        and would silently bypass replica routing and fault injection.
+        """
+        explicit = requested is not None
+        backend = requested
+        if backend is None and self._max_workers > 1:
+            backend = os.environ.get(BACKEND_ENV) or None
+        if backend is None:
+            return "threads" if self._max_workers > 1 else "sequential"
+        if backend not in BACKENDS:
+            source = "backend argument" if explicit else BACKEND_ENV
+            raise ConfigurationError(
+                f"unknown executor backend {backend!r} (from {source}); "
+                f"choose from {BACKENDS}"
+            )
+        if backend == "processes" and isinstance(index, ReplicatedShardedIndex):
+            if explicit:
+                raise ConfigurationError(
+                    "backend='processes' cannot serve a "
+                    "ReplicatedShardedIndex: process workers read "
+                    "driver-published snapshots and would bypass replica "
+                    "routing and fault injection"
+                )
+            return "threads"
+        return backend
+
     @property
     def max_workers(self) -> int:
         """Resolved thread pool width (1 = sequential fallback)."""
         return self._max_workers
+
+    @property
+    def backend(self) -> str:
+        """The resolved dispatch backend (one of :data:`BACKENDS`)."""
+        return self._backend
 
     @property
     def scheduler(self) -> MaintenanceScheduler | None:
@@ -274,7 +355,7 @@ class QueryExecutor:
         query_hist = reg.histogram(QUERY_SECONDS)
         for result in out.query_results:
             query_hist.record(result.seconds)
-        if out.mode == "parallel":
+        if out.mode != "sequential":
             shard_hist = reg.histogram(SHARD_BATCH_SECONDS)
             for seconds in out.shard_seconds:
                 if seconds:
@@ -297,7 +378,9 @@ class QueryExecutor:
         threshold = self._slow_query_threshold
         visited = sum(1 for n in out.shard_queries if n)
         pruned = (
-            self._index.n_shards - visited if out.mode == "parallel" else None
+            self._index.n_shards - visited
+            if out.mode != "sequential"
+            else None
         )
         for result in out.query_results:
             if result.seconds <= threshold:
@@ -338,7 +421,7 @@ class QueryExecutor:
             index.build()
         queries = [as_query(q) for q in queries]
         t0 = time.perf_counter()
-        if self._max_workers <= 1:
+        if self._backend == "sequential":
             # The engine's native sequential batch: routing happens inside
             # execute_batch (a second pass here would double-count the
             # prune counters), so shard_queries stays zeroed.
@@ -353,13 +436,18 @@ class QueryExecutor:
             )
             out.seconds = time.perf_counter() - t0
             return out
+        if self._backend == "processes":
+            return self._run_processes(queries, t0)
         return self._run_parallel(queries, t0)
 
-    def _run_parallel(self, queries: list[Query], t0: float) -> BatchResult:
+    def _route(self, queries: list[Query]) -> dict[int, list[int]]:
+        """Route every query onto shard queues, on the calling thread.
+
+        Shared by the thread and process backends: prune counters and
+        the epoch check stay single-threaded, and each shard receives
+        its queue in batch order.
+        """
         index = self._index
-        # Route every query up front on this thread: prune counters and
-        # the epoch check stay single-threaded, and each shard receives
-        # its queue in batch order.
         index._check_epoch()
         queues: dict[int, list[int]] = {}
         for i, q in enumerate(queries):
@@ -372,7 +460,13 @@ class QueryExecutor:
                 )
             for shard in index.plan_shards(q):
                 queues.setdefault(shard.sid, []).append(i)
+        return queues
+
+    def _run_parallel(self, queries: list[Query], t0: float) -> BatchResult:
+        index = self._index
+        queues = self._route(queries)
         t_routed = time.perf_counter()
+        workers = max(1, self._max_workers)
 
         def work(
             shard: Shard, idxs: list[int]
@@ -395,7 +489,7 @@ class QueryExecutor:
         partials: dict[int, list[QueryResult]] = {}
         shard_queries = [0] * index.n_shards
         shard_seconds = [0.0] * index.n_shards
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 (sid, pool.submit(work, index.shards[sid], idxs))
                 for sid, idxs in queues.items()
@@ -418,10 +512,91 @@ class QueryExecutor:
             query_results=query_results,
             seconds=t_done - t0,
             mode="parallel",
-            workers=self._max_workers,
+            workers=workers,
             shard_queries=shard_queries,
             shard_seconds=shard_seconds,
             route_seconds=t_routed - t0,
             fanout_seconds=t_joined - t_routed,
             merge_seconds=t_done - t_joined,
         )
+
+    def _ensure_pool(self) -> ProcessPool:
+        """The persistent process pool, created on first process batch.
+
+        Lazy on purpose: the sequential and thread backends never pay
+        the multiprocessing import, and the pool forks only after the
+        engine is built (workers inherit a warm interpreter under the
+        fork start method).
+        """
+        if self._pool is None:
+            from repro.parallel.pool import ProcessPool
+
+            self._pool = ProcessPool(
+                self._index,
+                n_workers=max(1, self._max_workers),
+                telemetry=self._telemetry,
+                events=self._events,
+            )
+        return self._pool
+
+    def _run_processes(self, queries: list[Query], t0: float) -> BatchResult:
+        """The process backend: same shape as threads, different labor.
+
+        Routing, merging, counters, and maintenance all stay
+        driver-side (identical to :meth:`_run_parallel`); only the
+        per-shard sub-batch execution crosses the process boundary.
+        ``shard_seconds`` carries the worker-measured in-process
+        wall-clock, so skew stays observable without clock-domain
+        games.
+        """
+        index = self._index
+        queues = self._route(queries)
+        t_routed = time.perf_counter()
+        pool = self._ensure_pool()
+        served = pool.run_batch(queries, queues)
+        t_joined = time.perf_counter()
+        partials: dict[int, list[QueryResult]] = {}
+        shard_queries = [0] * index.n_shards
+        shard_seconds = [0.0] * index.n_shards
+        for sid, (idxs, sub, seconds) in served.items():
+            shard_queries[sid] = len(idxs)
+            shard_seconds[sid] = seconds
+            for i, res in zip(idxs, sub):
+                partials.setdefault(i, []).append(res)
+        query_results = index._assemble_batch(queries, partials, t0)
+        t_done = time.perf_counter()
+        return BatchResult(
+            results=[self._ids_of(r) for r in query_results],
+            query_results=query_results,
+            seconds=t_done - t0,
+            mode="processes",
+            workers=pool.n_workers,
+            shard_queries=shard_queries,
+            shard_seconds=shard_seconds,
+            route_seconds=t_routed - t0,
+            fanout_seconds=t_joined - t_routed,
+            merge_seconds=t_done - t_joined,
+        )
+
+    def close(self) -> None:
+        """Tear down backend resources (the process pool, if started).
+
+        Idempotent; the sequential and thread backends hold nothing, so
+        this is a no-op for them.  After closing, the next process-mode
+        batch transparently starts a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> QueryExecutor:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        self.close()
+        return False

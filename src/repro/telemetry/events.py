@@ -72,6 +72,20 @@ EVENTS: dict[str, str] = {
         "a shard's primary replica died and a live replica took over; "
         "payload carries sid, from_rid, to_rid"
     ),
+    "worker.spawn": (
+        "a shard-serving worker process started; payload carries the "
+        "worker wid, its pid, and the pool's start method"
+    ),
+    "worker.respawn": (
+        "a crashed worker process was replaced mid-service and its "
+        "in-flight sub-batches re-dispatched; payload carries wid, the "
+        "old and new pids, and the sids re-dispatched"
+    ),
+    "worker.refresh": (
+        "a shard's shared-memory segment was republished after a "
+        "mutation epoch bump (or shard rebuild), invalidating worker "
+        "views; payload carries sid, segment version, rows, and epoch"
+    ),
 }
 
 

@@ -159,6 +159,24 @@ class LatencyHistogram:
         out.max = max(self.max, other.max)
         return out
 
+    def absorb(self, other: LatencyHistogram) -> None:
+        """Fold ``other``'s samples into this histogram **in place**.
+
+        The mutating sibling of :meth:`merge`, used where the receiving
+        instrument must keep its registry identity — e.g. a driver
+        registry absorbing the per-batch histograms worker *processes*
+        ship back, so ``/metrics`` and soak windows see process-backend
+        samples exactly like thread-backend ones.
+        """
+        self._check_layout(other)
+        for i, c in enumerate(other.counts):
+            if c:
+                self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+
     def delta_since(self, before: LatencyHistogram) -> LatencyHistogram:
         """Bucket-wise difference ``self - before`` (a window's samples).
 

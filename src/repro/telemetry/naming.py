@@ -34,6 +34,10 @@ __all__ = [
     "SPANS",
     "STORE_DEAD_FRACTION",
     "STORE_LIVE",
+    "WORKER_BATCH_SECONDS",
+    "WORKER_DISPATCHES",
+    "WORKER_QUERY_SECONDS",
+    "WORKER_RESPAWNS",
     "record_stats_delta",
     "stats_metric",
 ]
@@ -47,9 +51,13 @@ BATCH_ROUTE_SECONDS = "batch.route.seconds"
 BATCH_FANOUT_SECONDS = "batch.fanout.seconds"
 BATCH_MERGE_SECONDS = "batch.merge.seconds"
 SHARD_BATCH_SECONDS = "shard.batch.seconds"
+WORKER_BATCH_SECONDS = "worker.batch.seconds"
+WORKER_QUERY_SECONDS = "worker.query.seconds"
 
 # -- counter / gauge names ------------------------------------------------
 OPS = "ops"
+WORKER_DISPATCHES = "worker.dispatches"
+WORKER_RESPAWNS = "worker.respawns"
 STORE_LIVE = "store.live"
 STORE_DEAD_FRACTION = "store.dead_fraction"
 SHARDS_BALANCE = "shards.balance"
@@ -66,7 +74,19 @@ METRICS: dict[str, str] = {
     BATCH_FANOUT_SECONDS: "histogram: batch fan-out phase (shard tasks in flight)",
     BATCH_MERGE_SECONDS: "histogram: batch merge phase (partials -> per-query results)",
     SHARD_BATCH_SECONDS: "histogram: per-shard sub-batch worker wall-clock",
+    WORKER_BATCH_SECONDS: (
+        "histogram: sub-batch wall-clock measured inside a worker process"
+    ),
+    WORKER_QUERY_SECONDS: (
+        "histogram: per-query seconds measured inside a worker process"
+    ),
     OPS: "counter: operations executed (queries + inserts + deletes)",
+    WORKER_DISPATCHES: (
+        "counter: per-shard sub-batches dispatched to process workers"
+    ),
+    WORKER_RESPAWNS: (
+        "counter: worker processes respawned after a crash mid-service"
+    ),
     STORE_LIVE: "gauge: live rows in the engine's store",
     STORE_DEAD_FRACTION: "gauge: tombstoned fraction of the engine's store",
     SHARDS_BALANCE: "gauge: live-row balance factor (max/mean shard size)",

@@ -43,6 +43,7 @@ def run_rules(
 def test_registry_holds_the_documented_rule_set():
     assert sorted(analysis.RULES) == [
         "QL001", "QL002", "QL003", "QL004", "QL005", "QL006", "QL007",
+        "QL008",
     ]
     for rule in analysis.all_rules():
         assert rule.id in analysis.RULES
@@ -270,6 +271,62 @@ def test_ql007_flags_missing_unexported_and_phantom_names(tmp_path):
     })
     tags = sorted(f.tag for f in run_rules(tmp_path, ["QL007"]))
     assert tags == ["missing-__all__", "phantom:ghost", "unexported:skipped"]
+
+
+# ---------------------------------------------------------------------------
+# QL008 process-boundary payload discipline
+# ---------------------------------------------------------------------------
+def test_ql008_flags_lambdas_and_generators_in_boundary_sends(tmp_path):
+    write_tree(tmp_path, {
+        "parallel/pipe.py": (
+            "def ship(conn, items):\n"
+            "    conn.send(lambda v: v + 1)\n"
+            "    conn.send(('batch', (x * 2 for x in items)))\n"
+            "    conn.send(('ok', [i for i in items]))\n"  # list comp pickles
+        ),
+        # Same code outside the boundary package: sends there are not
+        # process boundaries (thread queues, sockets, mocks).
+        "elsewhere.py": (
+            "def ship(conn):\n"
+            "    conn.send(lambda v: v)\n"
+        ),
+    })
+    findings = run_rules(tmp_path, ["QL008"])
+    assert [f.tag for f in findings] == [
+        "lambda-in-send", "generator-in-send",
+    ]
+    assert all(f.path == "parallel/pipe.py" for f in findings)
+
+
+def test_ql008_flags_resource_and_lambda_attrs_on_payload_classes(tmp_path):
+    write_tree(tmp_path, {"telemetry.py": (
+        "import threading\n"
+        "class LatencyHistogram:\n"
+        "    def __init__(self):\n"
+        "        self.counts = [0]\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.scale = lambda v: v\n"
+        "class FreeClass:\n"  # not a payload class: resources are fine
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+    )})
+    tags = [f.tag for f in run_rules(tmp_path, ["QL008"])]
+    assert tags == ["resource-attr:Lock", "lambda-attr"]
+
+
+def test_ql008_covers_the_frozen_dataclass_setattr_idiom(tmp_path):
+    write_tree(tmp_path, {"wire.py": (
+        "class SegmentSpec:\n"
+        "    def __init__(self, path):\n"
+        "        object.__setattr__(self, 'handle', open(path))\n"
+    )})
+    findings = run_rules(tmp_path, ["QL008"])
+    assert [f.tag for f in findings] == ["resource-attr:open"]
+
+
+def test_ql008_stays_silent_on_the_live_parallel_package():
+    findings = run_rules(REPO / "src" / "repro", ["QL008"])
+    assert findings == []
 
 
 # ---------------------------------------------------------------------------

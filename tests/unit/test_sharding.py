@@ -288,7 +288,11 @@ class TestQueryExecutor:
         scan = ScanIndex(dataset.store.copy())
         expected = [np.sort(scan.query(q)) for q in queries]
         seq = QueryExecutor(self._engine(dataset), max_workers=1).run(queries)
-        par = QueryExecutor(self._engine(dataset), max_workers=4).run(queries)
+        # Pinned: this test asserts the thread path's mode label, so a
+        # QUASII_EXECUTOR_BACKEND=processes environment must not retarget it.
+        par = QueryExecutor(
+            self._engine(dataset), max_workers=4, backend="threads"
+        ).run(queries)
         assert seq.mode == "sequential" and par.mode == "parallel"
         for got_s, got_p, want in zip(seq.results, par.results, expected):
             assert np.array_equal(np.sort(got_s), want)
@@ -301,7 +305,7 @@ class TestQueryExecutor:
         e_seq = self._engine(dataset)
         e_par = self._engine(dataset)
         QueryExecutor(e_seq, max_workers=1).run(queries)
-        QueryExecutor(e_par, max_workers=3).run(queries)
+        QueryExecutor(e_par, max_workers=3, backend="threads").run(queries)
         assert e_par.stats.queries == e_seq.stats.queries == len(queries)
         assert e_par.stats.shards_visited == e_seq.stats.shards_visited
         assert e_par.stats.shards_pruned == e_seq.stats.shards_pruned
@@ -336,7 +340,10 @@ class TestQueryExecutor:
             n_shards=4,
             index_factory=lambda s: QuasiiIndex(s, tau=16),
         )
-        QueryExecutor(engine, max_workers=4).run(
+        # Pinned to threads: the point is that *driver-side* shard indexes
+        # crack concurrently and stay valid (the process backend cracks
+        # worker-local indexes instead).
+        QueryExecutor(engine, max_workers=4, backend="threads").run(
             uniform_workload(dataset.universe, 30, 1e-2, seed=8)
         )
         for shard in engine.shards:
@@ -344,7 +351,11 @@ class TestQueryExecutor:
 
     def test_parallel_exposes_shard_and_phase_timings(self, dataset):
         queries = uniform_workload(dataset.universe, 40, 1e-3, seed=9)
-        par = QueryExecutor(self._engine(dataset), max_workers=4).run(queries)
+        # Pinned: the phase-tiling and same-clock-domain invariants below
+        # are the thread backend's contract.
+        par = QueryExecutor(
+            self._engine(dataset), max_workers=4, backend="threads"
+        ).run(queries)
         assert len(par.shard_seconds) == 4
         # Every shard that received a sub-batch self-timed its work.
         for sid, n in enumerate(par.shard_queries):

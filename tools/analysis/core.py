@@ -210,6 +210,45 @@ class AnalysisConfig:
     broad_exceptions: frozenset[str] = frozenset(
         {"Exception", "BaseException"}
     )
+    # QL008 -- process-boundary payload discipline
+    #: Modules (dotted, relative to the scan root) whose pipe traffic is
+    #: a process boundary: the package prefix matches the whole package.
+    boundary_package: str = "parallel"
+    #: Method names that ship a payload across the boundary.
+    boundary_send_methods: frozenset[str] = frozenset({"send"})
+    #: Classes whose instances cross the boundary (pickled).  These may
+    #: not hold lambdas or handle-bearing resources, wherever they are
+    #: defined — LatencyHistogram lives in telemetry but rides the wire.
+    boundary_payload_classes: frozenset[str] = frozenset(
+        {
+            "SegmentSpec",
+            "QueryBatchWire",
+            "ResultBatchWire",
+            "LatencyHistogram",
+        }
+    )
+    #: Constructors whose products never survive pickling (or smuggle a
+    #: live OS resource through it): locks and friends, queues, threads,
+    #: pools, open file handles, shared-memory mappings.
+    unpicklable_constructors: frozenset[str] = frozenset(
+        {
+            "Lock",
+            "RLock",
+            "Semaphore",
+            "BoundedSemaphore",
+            "Condition",
+            "Event",
+            "Barrier",
+            "Queue",
+            "SimpleQueue",
+            "Thread",
+            "ThreadPoolExecutor",
+            "ProcessPoolExecutor",
+            "Pipe",
+            "open",
+            "SharedMemory",
+        }
+    )
 
     def with_vocab(self, names: Iterable[str]) -> "AnalysisConfig":
         return replace(self, vocab=frozenset(names))

@@ -1,0 +1,187 @@
+"""QL008: process-boundary payloads picklable by construction.
+
+Everything the parallel tier pushes through a pipe is pickled, and
+pickling failures are the worst kind of bug: they surface at dispatch
+time, in a worker-facing traceback, far from the line that introduced
+the unpicklable object.  Two statically checkable disciplines keep the
+boundary safe:
+
+* **No lambdas (or generator expressions) inside a boundary send.**
+  Within the parallel package, any ``.send(...)`` argument containing
+  an ``ast.Lambda`` or generator expression is a payload that cannot
+  pickle.  Named module-level functions are fine (pickle ships them by
+  qualified name); closures and lambdas are not.
+* **Payload classes carry data, not resources.**  The configured
+  payload classes (wire structures, segment specs, the shipped
+  histograms) may not self-assign lambdas or the products of
+  unpicklable constructors — locks, queues, threads, pools, open file
+  handles, shared-memory mappings.  A payload class that grows a
+  ``self._lock = threading.Lock()`` would pickle on 3.8-era protocols
+  never, and on no protocol meaningfully.
+
+The allowlists live in :class:`~analysis.core.AnalysisConfig`
+(``boundary_package``, ``boundary_send_methods``,
+``boundary_payload_classes``, ``unpicklable_constructors``); see
+docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import AnalysisConfig, Finding, RepoIndex
+from . import register
+
+
+def _callee_name(node: ast.expr) -> str | None:
+    """Last dotted segment of a call target (``threading.Lock`` -> Lock)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _in_boundary(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+@register
+class ProcessBoundaryPayloads:
+    id = "QL008"
+    title = "process-boundary payloads are picklable by construction"
+
+    def run(
+        self, index: RepoIndex, config: AnalysisConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_sends(index, config))
+        findings.extend(self._check_payload_classes(index, config))
+        return findings
+
+    # -- sends ----------------------------------------------------------
+    def _check_sends(
+        self, index: RepoIndex, config: AnalysisConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in index.functions:
+            if not _in_boundary(fn.file.module, config.boundary_package):
+                continue
+            for node in ast.walk(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in config.boundary_send_methods
+                ):
+                    continue
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Lambda):
+                            kind = "lambda"
+                        elif isinstance(sub, ast.GeneratorExp):
+                            kind = "generator"
+                        else:
+                            continue
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=fn.file.rel,
+                                line=sub.lineno,
+                                col=sub.col_offset,
+                                symbol=fn.symbol,
+                                message=(
+                                    f"a {kind} inside a boundary "
+                                    f".{node.func.attr}(...) cannot "
+                                    "pickle; ship data or a module-"
+                                    "level callable instead"
+                                ),
+                                tag=f"{kind}-in-send",
+                            )
+                        )
+        return findings
+
+    # -- payload classes ------------------------------------------------
+    def _check_payload_classes(
+        self, index: RepoIndex, config: AnalysisConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls in index.classes:
+            if cls.name not in config.boundary_payload_classes:
+                continue
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    value = self._self_assigned_value(node)
+                    if value is None:
+                        continue
+                    if isinstance(value, ast.Lambda):
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=cls.file.rel,
+                                line=value.lineno,
+                                col=value.col_offset,
+                                symbol=method.symbol,
+                                message=(
+                                    f"payload class {cls.name} stores a "
+                                    "lambda on self; it cannot cross "
+                                    "the process boundary"
+                                ),
+                                tag="lambda-attr",
+                            )
+                        )
+                        continue
+                    callee = (
+                        _callee_name(value.func)
+                        if isinstance(value, ast.Call)
+                        else None
+                    )
+                    if callee in config.unpicklable_constructors:
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=cls.file.rel,
+                                line=value.lineno,
+                                col=value.col_offset,
+                                symbol=method.symbol,
+                                message=(
+                                    f"payload class {cls.name} stores "
+                                    f"{callee}() on self; the resource "
+                                    "cannot cross the process boundary"
+                                ),
+                                tag=f"resource-attr:{callee}",
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _self_assigned_value(node: ast.AST) -> ast.expr | None:
+        """The value of a ``self.X = ...`` assignment, else ``None``.
+
+        Covers plain/annotated assignment plus the frozen-dataclass
+        idiom ``object.__setattr__(self, "attr", value)``.
+        """
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__setattr__"
+            and len(node.args) >= 3
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == "self"
+        ):
+            return node.args[2]
+        if value is None:
+            return None
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return value
+        return None
